@@ -1,0 +1,277 @@
+// Benchmarks regenerating the paper's evaluation (§ 7). One benchmark per
+// figure/series; cmd/evsbench runs the same experiments at full paper
+// scale (14 replicas, thousands of actions) with pretty-printed output.
+//
+// The -benchtime and replica counts here are sized so `go test -bench=.`
+// finishes in minutes on a small host while preserving the paper's shape:
+//
+//	Fig. 5(a): Engine > COReL > 2PC  (throughput, forced writes)
+//	Fig. 5(b): delayed writes >> forced writes
+//	Latency:   Engine ≈ COReL ≈ ~half of 2PC (two forced writes serialized)
+package evsdb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"evsdb/internal/bench"
+	"evsdb/internal/cluster"
+	"evsdb/internal/core"
+	"evsdb/internal/db"
+	"evsdb/internal/evs"
+	"evsdb/internal/quorum"
+	"evsdb/internal/storage"
+	"evsdb/internal/transport/memnet"
+	"evsdb/internal/types"
+)
+
+const (
+	benchReplicas = 5
+	benchClients  = 5
+	benchSync     = 500 * time.Microsecond
+)
+
+// driveClosedLoop runs b.N actions across clients against the runner and
+// reports throughput.
+func driveClosedLoop(b *testing.B, runner *bench.Runner, clients int) {
+	b.Helper()
+	payload := runner.Payload()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := b.N / clients
+	extra := b.N % clients
+	for c := 0; c < clients; c++ {
+		n := per
+		if c < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := runner.Submit(ctx, c, payload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if elapsed := time.Since(start); elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "actions/s")
+	}
+}
+
+func benchThroughput(b *testing.B, sys bench.System) {
+	b.Helper()
+	runner, err := bench.NewRunner(bench.Config{
+		System:      sys,
+		Replicas:    benchReplicas,
+		SyncLatency: benchSync,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	driveClosedLoop(b, runner, benchClients)
+}
+
+// Figure 5(a): throughput under forced writes, three systems.
+
+func BenchmarkFig5aEngine(b *testing.B) { benchThroughput(b, bench.Engine) }
+func BenchmarkFig5aCOReL(b *testing.B)  { benchThroughput(b, bench.COReL) }
+func BenchmarkFig5aTwoPC(b *testing.B)  { benchThroughput(b, bench.TwoPC) }
+
+// Figure 5(b): the engine with forced versus delayed disk writes.
+
+func BenchmarkFig5bForced(b *testing.B)  { benchThroughput(b, bench.Engine) }
+func BenchmarkFig5bDelayed(b *testing.B) { benchThroughput(b, bench.EngineDelayed) }
+
+// § 7 latency: one sequential client; ns/op is the per-action latency.
+
+func benchLatency(b *testing.B, sys bench.System) {
+	b.Helper()
+	runner, err := bench.NewRunner(bench.Config{
+		System:      sys,
+		Replicas:    benchReplicas,
+		SyncLatency: benchSync,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	payload := runner.Payload()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner.Submit(ctx, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatencyEngine(b *testing.B) { benchLatency(b, bench.Engine) }
+func BenchmarkLatencyCOReL(b *testing.B)  { benchLatency(b, bench.COReL) }
+func BenchmarkLatencyTwoPC(b *testing.B)  { benchLatency(b, bench.TwoPC) }
+
+// Ablation: Safe versus Agreed delivery on the raw EVS layer — the price
+// of the guarantee the engine's correctness depends on (§ 4).
+
+func benchEVS(b *testing.B, service evs.ServiceLevel) {
+	b.Helper()
+	net := memnet.New()
+	var nodes []*evs.Node
+	for i := 0; i < benchReplicas; i++ {
+		ep, err := net.Attach(cluster.ServerID(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, evs.NewNode(ep, evs.WithTick(500*time.Microsecond)))
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	// Drain every node; count deliveries at node 0.
+	delivered := make(chan struct{}, 1024)
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *evs.Node) {
+			defer wg.Done()
+			for ev := range n.Events() {
+				if i == 0 {
+					if _, ok := ev.(evs.Delivery); ok {
+						delivered <- struct{}{}
+					}
+				}
+			}
+		}(i, n)
+	}
+	// Wait for the initial view.
+	time.Sleep(300 * time.Millisecond)
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nodes[0].Multicast(payload, service); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-delivered:
+		case <-time.After(30 * time.Second):
+			b.Fatal("delivery timed out")
+		}
+	}
+	b.StopTimer()
+	for _, n := range nodes {
+		n.Close()
+	}
+	wg.Wait()
+}
+
+func BenchmarkEVSAgreed(b *testing.B) { benchEVS(b, evs.Agreed) }
+func BenchmarkEVSSafe(b *testing.B)   { benchEVS(b, evs.Safe) }
+
+// Ablation: quorum rules (pure CPU cost; the availability difference is
+// covered by TestDLVSurvivesShrinkingPartitions).
+
+func benchQuorum(b *testing.B, sys quorum.System) {
+	b.Helper()
+	last := make([]types.ServerID, 14)
+	for i := range last {
+		last[i] = cluster.ServerID(i)
+	}
+	members := last[:8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sys.IsQuorum(members, last) {
+			b.Fatal("unexpected quorum refusal")
+		}
+	}
+}
+
+func BenchmarkQuorumDynamicLinear(b *testing.B) { benchQuorum(b, quorum.DynamicLinear{}) }
+func BenchmarkQuorumStaticMajority(b *testing.B) {
+	all := make([]types.ServerID, 14)
+	for i := range all {
+		all[i] = cluster.ServerID(i)
+	}
+	benchQuorum(b, quorum.StaticMajority{All: all})
+}
+
+// Sanity: the benchmark stacks produce the counts they claim.
+func TestBenchRunnerSmoke(t *testing.T) {
+	for _, sys := range []bench.System{bench.Engine, bench.EngineDelayed, bench.COReL, bench.TwoPC} {
+		t.Run(fmt.Sprint(sys), func(t *testing.T) {
+			res, err := bench.Run(bench.Config{
+				System:           sys,
+				Replicas:         3,
+				Clients:          2,
+				ActionsPerClient: 5,
+				SyncLatency:      benchSync,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Actions != 10 || res.Throughput <= 0 {
+				t.Fatalf("bad result: %+v", res)
+			}
+		})
+	}
+}
+
+// Keep storage import used regardless of benchmark edits.
+var _ = storage.SyncForced
+
+// § 6 query optimization: strict query-only requests in the primary skip
+// the ordering round entirely. Compare against an equivalent ordered
+// read-modify-nothing action.
+func BenchmarkStrictQueryFastPath(b *testing.B) {
+	runner, err := bench.NewRunner(bench.Config{Replicas: benchReplicas, System: bench.Engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	eng := runner.Engine(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	q := db.Get("missing")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(ctx, q, core.QueryStrict); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrderedNoop is the ordered-action baseline the fast path is
+// measured against.
+func BenchmarkOrderedNoop(b *testing.B) {
+	runner, err := bench.NewRunner(bench.Config{Replicas: benchReplicas, System: bench.Engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	payload := db.EncodeUpdate(db.Noop("x"))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner.Submit(ctx, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command evsbench regenerates the paper's evaluation (§ 7):
+//
+//	evsbench -exp fig5a    # throughput vs clients: engine / COReL / 2PC
+//	evsbench -exp fig5b    # engine forced vs delayed writes
+//	evsbench -exp latency  # single-client average latency, three systems
+//	evsbench -exp all      # everything
+//
+// The -sync flag sets the simulated forced-write latency (the knob that
+// stands in for the 2001 testbed's disks). Absolute numbers differ from
+// the paper; the ordering and ratios are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"evsdb/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig5a, fig5b, latency, all")
+		replicas = flag.Int("replicas", 14, "number of replicas (paper: 14)")
+		actions  = flag.Int("actions", 100, "actions per client per data point")
+		syncLat  = flag.Duration("sync", 2*time.Millisecond, "simulated forced-write latency")
+		clients  = flag.String("clients", "1,2,4,7,10,14", "client counts for throughput curves")
+	)
+	flag.Parse()
+
+	var clientCounts []int
+	for _, part := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -clients value %q: %w", part, err)
+		}
+		clientCounts = append(clientCounts, n)
+	}
+
+	switch *exp {
+	case "fig5a":
+		return fig5a(*replicas, clientCounts, *actions, *syncLat)
+	case "fig5b":
+		return fig5b(*replicas, clientCounts, *actions, *syncLat)
+	case "latency":
+		return latency(*replicas, *actions, *syncLat)
+	case "costmodel":
+		return costModel(*replicas, *actions, *syncLat)
+	case "all":
+		if err := fig5a(*replicas, clientCounts, *actions, *syncLat); err != nil {
+			return err
+		}
+		if err := fig5b(*replicas, clientCounts, *actions, *syncLat); err != nil {
+			return err
+		}
+		if err := latency(*replicas, *actions, *syncLat); err != nil {
+			return err
+		}
+		return costModel(*replicas, *actions, *syncLat)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+// costModel prints the empirical per-action message and forced-write
+// counts behind the paper's § 7 cost claims.
+func costModel(replicas, actions int, syncLat time.Duration) error {
+	fmt.Printf("== § 7 cost model: per-action messages and forced writes, %d replicas ==\n", replicas)
+	rows, err := bench.CostModel(replicas, actions, syncLat)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println("  " + r.String())
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig5a(replicas int, clients []int, actions int, syncLat time.Duration) error {
+	fmt.Printf("== Figure 5(a): throughput vs clients, %d replicas, forced writes (sync=%v) ==\n",
+		replicas, syncLat)
+	for _, sys := range []bench.System{bench.Engine, bench.COReL, bench.TwoPC} {
+		results, err := bench.Series(sys, replicas, clients, actions, syncLat)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Println("  " + r.String())
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig5b(replicas int, clients []int, actions int, syncLat time.Duration) error {
+	fmt.Printf("== Figure 5(b): engine delayed vs forced writes, %d replicas ==\n", replicas)
+	for _, sys := range []bench.System{bench.EngineDelayed, bench.Engine} {
+		results, err := bench.Series(sys, replicas, clients, actions, syncLat)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Println("  " + r.String())
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func latency(replicas, actions int, syncLat time.Duration) error {
+	fmt.Printf("== § 7 latency: 1 client, %d sequential actions, %d replicas (sync=%v) ==\n",
+		actions, replicas, syncLat)
+	for _, sys := range []bench.System{bench.Engine, bench.COReL, bench.TwoPC} {
+		r, err := bench.Run(bench.Config{
+			System:           sys,
+			Replicas:         replicas,
+			Clients:          1,
+			ActionsPerClient: actions,
+			SyncLatency:      syncLat,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r.String())
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,160 @@
+// Command evsload drives the HTTP API of running replica processes
+// (cmd/replica) with a closed-loop workload and reports throughput and
+// latency percentiles — the operational complement to cmd/evsbench's
+// in-process experiments.
+//
+//	evsload -targets http://127.0.0.1:8001,http://127.0.0.1:8002 \
+//	        -clients 8 -ops 500 -mix 70:20:10
+//
+// The mix is set:add:get percentages.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"evsdb/internal/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evsload:", err)
+		os.Exit(1)
+	}
+}
+
+type opStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	failures  int
+}
+
+func (s *opStats) record(d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.latencies = append(s.latencies, d)
+	} else {
+		s.failures++
+	}
+}
+
+func run() error {
+	var (
+		targets = flag.String("targets", "http://127.0.0.1:8001", "comma-separated replica HTTP endpoints")
+		clients = flag.Int("clients", 4, "concurrent closed-loop clients")
+		ops     = flag.Int("ops", 200, "operations per client")
+		keys    = flag.Int("keys", 1000, "keyspace size")
+		mixSpec = flag.String("mix", "70:20:10", "set:add:get percentages")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var endpoints []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			endpoints = append(endpoints, t)
+		}
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	stats := &opStats{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client gets its own connection object with a rotated
+			// home endpoint, like the paper's per-machine clients.
+			rotated := append(append([]string(nil), endpoints[c%len(endpoints):]...),
+				endpoints[:c%len(endpoints)]...)
+			cl, err := client.New(rotated)
+			if err != nil {
+				stats.record(0, err)
+				return
+			}
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			ctx := context.Background()
+			for i := 0; i < *ops; i++ {
+				key := fmt.Sprintf("key-%06d", rng.Intn(*keys))
+				t0 := time.Now()
+				var err error
+				switch pick(rng, mix) {
+				case 0:
+					_, err = cl.Set(ctx, key, fmt.Sprintf("v%d-%d", c, i))
+				case 1:
+					err = cl.Add(ctx, key, int64(rng.Intn(10)+1))
+				default:
+					_, err = cl.Get(ctx, key, client.Strict)
+				}
+				stats.record(time.Since(t0), err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	n := len(stats.latencies)
+	if n == 0 {
+		return fmt.Errorf("every operation failed (%d failures)", stats.failures)
+	}
+	sort.Slice(stats.latencies, func(i, j int) bool { return stats.latencies[i] < stats.latencies[j] })
+	pct := func(p float64) time.Duration {
+		return stats.latencies[int(p*float64(n-1))]
+	}
+	fmt.Printf("completed %d ops in %v (%d failures)\n", n, elapsed.Round(time.Millisecond), stats.failures)
+	fmt.Printf("throughput: %.1f ops/s\n", float64(n)/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), stats.latencies[n-1].Round(time.Microsecond))
+	return nil
+}
+
+// parseMix turns "70:20:10" into cumulative thresholds.
+func parseMix(spec string) ([3]int, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return [3]int{}, fmt.Errorf("mix %q must be set:add:get", spec)
+	}
+	var out [3]int
+	total := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return [3]int{}, fmt.Errorf("bad mix component %q", p)
+		}
+		total += n
+		out[i] = total
+	}
+	if total == 0 {
+		return [3]int{}, fmt.Errorf("mix %q sums to zero", spec)
+	}
+	return out, nil
+}
+
+// pick selects 0 (set), 1 (add) or 2 (get) per the cumulative mix.
+func pick(rng *rand.Rand, mix [3]int) int {
+	r := rng.Intn(mix[2])
+	switch {
+	case r < mix[0]:
+		return 0
+	case r < mix[1]:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,131 @@
+// Command replica runs one replication server over TCP, exposing a small
+// HTTP client API.
+//
+// Example three-replica deployment on one host:
+//
+//	replica -id s1 -listen 127.0.0.1:7001 -peers s2=127.0.0.1:7002,s3=127.0.0.1:7003 -http 127.0.0.1:8001 -wal /tmp/s1.wal
+//	replica -id s2 -listen 127.0.0.1:7002 -peers s1=127.0.0.1:7001,s3=127.0.0.1:7003 -http 127.0.0.1:8002 -wal /tmp/s2.wal
+//	replica -id s3 -listen 127.0.0.1:7003 -peers s1=127.0.0.1:7001,s2=127.0.0.1:7002 -http 127.0.0.1:8003 -wal /tmp/s3.wal
+//
+// Client API:
+//
+//	POST /set?key=k&value=v          strict replicated write
+//	POST /add?key=k&delta=5          commutative increment (available in any component)
+//	GET  /get?key=k&level=strict|weak|dirty
+//	GET  /status                     engine state, configuration, counters
+//	POST /leave                      permanently retire this replica
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"evsdb/internal/core"
+	"evsdb/internal/evs"
+	"evsdb/internal/httpapi"
+	"evsdb/internal/storage"
+	"evsdb/internal/transport/tcpnet"
+	"evsdb/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replica:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.String("id", "", "server id (required)")
+		listen   = flag.String("listen", "127.0.0.1:7001", "replication listen address")
+		peerSpec = flag.String("peers", "", "comma-separated id=addr peer list")
+		httpAddr = flag.String("http", "127.0.0.1:8001", "client HTTP address")
+		walPath  = flag.String("wal", "", "write-ahead log path (default <id>.wal)")
+		recover  = flag.Bool("recover", false, "replay the WAL before starting")
+		delayed  = flag.Bool("delayed-writes", false, "use delayed (asynchronous) disk writes")
+	)
+	flag.Parse()
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	if *walPath == "" {
+		*walPath = *id + ".wal"
+	}
+
+	peers := make(map[types.ServerID]string)
+	servers := []types.ServerID{types.ServerID(*id)}
+	if *peerSpec != "" {
+		for _, part := range strings.Split(*peerSpec, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("bad peer %q (want id=addr)", part)
+			}
+			pid := types.ServerID(kv[0])
+			peers[pid] = kv[1]
+			servers = append(servers, pid)
+		}
+	}
+	types.SortServerIDs(servers)
+
+	tr, err := tcpnet.New(tcpnet.Config{
+		ID:     types.ServerID(*id),
+		Listen: *listen,
+		Peers:  peers,
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	policy := storage.SyncForced
+	if *delayed {
+		policy = storage.SyncDelayed
+	}
+	wal, err := storage.OpenFileLog(*walPath, storage.Options{Policy: policy})
+	if err != nil {
+		return err
+	}
+	defer wal.Close()
+
+	gc := evs.NewNode(tr, evs.WithTick(5*time.Millisecond))
+	defer gc.Close()
+
+	eng, err := core.New(core.Config{
+		ID:      types.ServerID(*id),
+		Servers: servers,
+		GC:      gc,
+		Log:     wal,
+		Recover: *recover,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	mux := httpapi.New(eng, httpapi.Config{})
+
+	srv := &http.Server{Addr: *httpAddr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("replica %s: replication on %s, clients on http://%s\n", *id, *listen, *httpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		return nil
+	}
+}

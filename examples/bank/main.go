@@ -1,0 +1,174 @@
+// Bank demonstrates the paper's § 6 application semantics on an
+// inventory/accounts workload:
+//
+//   - commutative updates (stock increments) stay available in every
+//     component during a partition and converge after the merge;
+//   - interactive transfers use the two-action pattern: read, then a
+//     guarded (check-and-apply) update that aborts deterministically when
+//     the read values changed;
+//   - an active action (registered procedure) applies interest at
+//     ordering time, identically at every replica.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"evsdb/internal/cluster"
+	"evsdb/internal/core"
+	"evsdb/internal/db"
+	"evsdb/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bank:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	c, err := cluster.New(5)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ids := c.IDs()
+
+	// Active actions need the procedure registered at every replica
+	// before any action invokes it.
+	for _, id := range ids {
+		c.Replica(id).Engine.DB().RegisterProc("apply-interest", applyInterest)
+	}
+	if err := c.WaitPrimary(10*time.Second, ids...); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	eng := func(i int) *core.Engine { return c.Replica(ids[i]).Engine }
+
+	// Seed accounts.
+	if _, err := eng(0).Submit(ctx, db.EncodeUpdate(
+		db.Set("acct/alice", "100"),
+		db.Set("acct/bob", "50"),
+	), nil, types.SemStrict); err != nil {
+		return err
+	}
+
+	// --- Commutative inventory across a partition -------------------
+	c.Partition(ids[:3], ids[3:])
+	if err := c.WaitPrimary(10*time.Second, ids[:3]...); err != nil {
+		return err
+	}
+	if err := c.WaitNonPrim(10*time.Second, ids[3:]...); err != nil {
+		return err
+	}
+	fmt.Println("partitioned; warehouse keeps receiving stock on both sides")
+
+	// Majority side receives 30 units; minority side SELLS 10 (temporary
+	// negative stock is allowed, the paper's inventory example).
+	if _, err := eng(0).Submit(ctx, db.EncodeUpdate(db.Add("stock/widgets", 30)), nil, types.SemCommutative); err != nil {
+		return err
+	}
+	r, err := eng(4).Submit(ctx, db.EncodeUpdate(db.Add("stock/widgets", -10)), nil, types.SemCommutative)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minority sale applied immediately (err=%q) — availability preserved\n", r.Err)
+
+	c.Heal()
+	if err := c.WaitPrimary(20*time.Second, ids...); err != nil {
+		return err
+	}
+	waitStock := func(id types.ServerID, want string) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			res, err := c.Replica(id).Engine.Query(ctx, db.Get("stock/widgets"), core.QueryWeak)
+			if err != nil {
+				return err
+			}
+			if res.Value == want {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s: stock=%q, want %s", id, res.Value, want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for _, id := range ids {
+		if err := waitStock(id, "20"); err != nil {
+			return err
+		}
+	}
+	fmt.Println("after merge every replica agrees: stock/widgets = 20")
+
+	// --- Interactive transfer (two-action pattern) ------------------
+	read, err := eng(1).Query(ctx, db.Get("acct/alice"), core.QueryStrict)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transfer step 1: read alice=%s\n", read.Value)
+
+	// Concurrent interference: someone else debits alice first.
+	if _, err := eng(2).Submit(ctx, db.EncodeUpdate(db.Set("acct/alice", "80")), nil, types.SemStrict); err != nil {
+		return err
+	}
+
+	// Step 2: guarded update using the step-1 read. The guard fails at
+	// every replica identically — a deterministic abort.
+	guard := map[string]string{"acct/alice": read.Value}
+	r, err = eng(1).Submit(ctx, db.EncodeUpdate(
+		db.CAS(guard, db.Add("acct/alice", -25), db.Add("acct/bob", 25)),
+	), nil, types.SemStrict)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transfer with stale read aborted deterministically: %q\n", r.Err)
+
+	// Retry with a fresh read.
+	read, err = eng(1).Query(ctx, db.Get("acct/alice"), core.QueryStrict)
+	if err != nil {
+		return err
+	}
+	r, err = eng(1).Submit(ctx, db.EncodeUpdate(
+		db.CAS(map[string]string{"acct/alice": read.Value},
+			db.Add("acct/alice", -25), db.Add("acct/bob", 25)),
+	), nil, types.SemStrict)
+	if err != nil || r.Err != "" {
+		return fmt.Errorf("fresh transfer failed: %v %q", err, r.Err)
+	}
+	fmt.Println("fresh transfer committed: alice -25, bob +25")
+
+	// --- Active action: interest applied at ordering time -----------
+	if _, err := eng(3).Submit(ctx, db.EncodeUpdate(db.Proc("apply-interest", nil)), nil, types.SemStrict); err != nil {
+		return err
+	}
+	res, err := eng(0).Query(ctx, db.Get("acct/bob"), core.QueryStrict)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after 10%% interest: bob=%s\n", res.Value)
+	return nil
+}
+
+// applyInterest is deterministic: it depends only on the database state
+// at the action's global position.
+func applyInterest(tx *db.Tx, _ []byte) error {
+	for _, acct := range []string{"acct/alice", "acct/bob"} {
+		v, ok := tx.Get(acct)
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s holds %q", acct, v)
+		}
+		tx.Set(acct, strconv.FormatInt(n+n/10, 10))
+	}
+	return nil
+}

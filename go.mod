@@ -1,0 +1,3 @@
+module evsdb
+
+go 1.22

@@ -1,0 +1,139 @@
+package corel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"evsdb/internal/evs"
+	"evsdb/internal/storage"
+	"evsdb/internal/transport/memnet"
+	"evsdb/internal/types"
+)
+
+type rig struct {
+	nodes []*evs.Node
+	reps  []*Replica
+	logs  []*storage.MemLog
+}
+
+func buildRig(t *testing.T, n int, opts storage.Options) *rig {
+	t.Helper()
+	net := memnet.New()
+	r := &rig{}
+	for i := 0; i < n; i++ {
+		id := types.ServerID(fmt.Sprintf("s%02d", i))
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := evs.NewNode(ep, evs.WithTick(500*time.Microsecond))
+		log := storage.NewMemLog(opts)
+		r.nodes = append(r.nodes, node)
+		r.logs = append(r.logs, log)
+		r.reps = append(r.reps, New(id, node, log))
+	}
+	t.Cleanup(func() {
+		for _, rep := range r.reps {
+			rep.Close()
+		}
+		for _, node := range r.nodes {
+			node.Close()
+		}
+	})
+	time.Sleep(100 * time.Millisecond) // settle the initial view
+	return r
+}
+
+func TestSubmitCommits(t *testing.T) {
+	r := buildRig(t, 3, storage.Options{Policy: storage.SyncNone})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := r.reps[0].Submit(ctx, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.reps[0].Committed(); got != 1 {
+		t.Fatalf("committed = %d", got)
+	}
+}
+
+func TestCommitWaitsForAllAcks(t *testing.T) {
+	// With forced writes and a measurable latency, commit cannot happen
+	// before every replica's forced write: the round trip must take at
+	// least one sync latency.
+	const lat = 20 * time.Millisecond
+	r := buildRig(t, 3, storage.Options{Policy: storage.SyncForced, SyncLatency: lat})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := r.reps[1].Submit(ctx, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("committed in %v, faster than one forced write (%v)", elapsed, lat)
+	}
+}
+
+func TestActionDurableEverywhereBeforeCommit(t *testing.T) {
+	r := buildRig(t, 3, storage.Options{Policy: storage.SyncForced})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := r.reps[0].Submit(ctx, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	for i, log := range r.logs {
+		recs, err := log.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("replica %d has %d durable records", i, len(recs))
+		}
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	r := buildRig(t, 3, storage.Options{Policy: storage.SyncNone})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const per = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, len(r.reps)*per)
+	for _, rep := range r.reps {
+		wg.Add(1)
+		go func(rep *Replica) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := rep.Submit(ctx, []byte("m")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(rep)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := uint64(len(r.reps) * per)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.reps[2].Committed() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("committed %d of %d", r.reps[2].Committed(), want)
+}
+
+func TestClosedSubmitFails(t *testing.T) {
+	r := buildRig(t, 1, storage.Options{Policy: storage.SyncNone})
+	r.reps[0].Close()
+	err := r.reps[0].Submit(context.Background(), []byte("x"))
+	if err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+}

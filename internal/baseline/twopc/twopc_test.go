@@ -1,0 +1,142 @@
+package twopc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"evsdb/internal/storage"
+	"evsdb/internal/transport/memnet"
+	"evsdb/internal/types"
+)
+
+type rig struct {
+	reps []*Replica
+	logs []*storage.MemLog
+}
+
+func buildRig(t *testing.T, n int, opts storage.Options) *rig {
+	t.Helper()
+	net := memnet.New()
+	var ids []types.ServerID
+	for i := 0; i < n; i++ {
+		ids = append(ids, types.ServerID(fmt.Sprintf("s%02d", i)))
+	}
+	r := &rig{}
+	for _, id := range ids {
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := storage.NewMemLog(opts)
+		r.logs = append(r.logs, log)
+		r.reps = append(r.reps, New(id, ep, log, ids))
+	}
+	t.Cleanup(func() {
+		for _, rep := range r.reps {
+			rep.Close()
+		}
+	})
+	return r
+}
+
+func TestSubmitCommits(t *testing.T) {
+	r := buildRig(t, 3, storage.Options{Policy: storage.SyncNone})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := r.reps[0].Submit(ctx, []byte("tx")); err != nil {
+		t.Fatal(err)
+	}
+	if r.reps[0].Committed() != 1 {
+		t.Fatalf("committed = %d", r.reps[0].Committed())
+	}
+}
+
+func TestTwoForcedWritesOnLatencyPath(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	r := buildRig(t, 3, storage.Options{Policy: storage.SyncForced, SyncLatency: lat})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := r.reps[0].Submit(ctx, []byte("tx")); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Participant prepare force + coordinator commit force are serialized.
+	if elapsed < 2*lat {
+		t.Fatalf("commit in %v, faster than two serialized forced writes (%v)", elapsed, 2*lat)
+	}
+}
+
+func TestParticipantsPrepareBeforeCommit(t *testing.T) {
+	r := buildRig(t, 3, storage.Options{Policy: storage.SyncForced})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := r.reps[1].Submit(ctx, []byte("tx")); err != nil {
+		t.Fatal(err)
+	}
+	// Every participant has a durable prepare record before the client
+	// was released.
+	for i, log := range r.logs {
+		recs, err := log.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("replica %d has no durable records", i)
+		}
+	}
+}
+
+func TestManySequentialCommits(t *testing.T) {
+	r := buildRig(t, 5, storage.Options{Policy: storage.SyncNone})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 50; i++ {
+		if err := r.reps[i%5].Submit(ctx, []byte("tx")); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	var total uint64
+	for _, rep := range r.reps {
+		total += rep.Committed()
+	}
+	if total != 50 {
+		t.Fatalf("total committed %d", total)
+	}
+}
+
+func TestConcurrentCoordinators(t *testing.T) {
+	r := buildRig(t, 3, storage.Options{Policy: storage.SyncNone})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, 60)
+	for _, rep := range r.reps {
+		wg.Add(1)
+		go func(rep *Replica) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := rep.Submit(ctx, []byte("tx")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(rep)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedSubmitFails(t *testing.T) {
+	r := buildRig(t, 1, storage.Options{Policy: storage.SyncNone})
+	r.reps[0].Close()
+	if err := r.reps[0].Submit(context.Background(), []byte("x")); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunEachSystem(t *testing.T) {
+	for _, sys := range []System{Engine, EngineDelayed, COReL, TwoPC} {
+		t.Run(sys.String(), func(t *testing.T) {
+			res, err := Run(Config{
+				System:           sys,
+				Replicas:         3,
+				Clients:          2,
+				ActionsPerClient: 4,
+				SyncLatency:      200 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Actions != 8 {
+				t.Fatalf("actions = %d", res.Actions)
+			}
+			if res.Throughput <= 0 || res.AvgLatency <= 0 {
+				t.Fatalf("degenerate result: %+v", res)
+			}
+			if !strings.Contains(res.String(), sys.String()) {
+				t.Fatalf("result string %q misses system name", res.String())
+			}
+		})
+	}
+}
+
+func TestSeriesProducesOneRowPerPoint(t *testing.T) {
+	rows, err := Series(Engine, 3, []int{1, 2}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Clients != 1 || rows[1].Clients != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+}
+
+func TestCostModelShape(t *testing.T) {
+	rows, err := CostModel(3, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	byName := map[string]CostRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	// The paper's claims, as inequalities robust to protocol overhead:
+	// only the engine's generator forces; both baselines force at every
+	// replica.
+	if byName["engine"].AllSyncsPer > 1.5 {
+		t.Fatalf("engine forces too much: %+v", byName["engine"])
+	}
+	if byName["corel"].AllSyncsPer < 2.5 || byName["2pc"].AllSyncsPer < 2.5 {
+		t.Fatalf("baselines force too little: %+v %+v", byName["corel"], byName["2pc"])
+	}
+	// 2PC is unicast-only; the group-communication systems multicast.
+	if byName["2pc"].MulticastsPer != 0 {
+		t.Fatalf("2pc multicast: %+v", byName["2pc"])
+	}
+	if byName["engine"].MulticastsPer <= 0 || byName["corel"].MulticastsPer <= byName["engine"].MulticastsPer {
+		t.Fatalf("multicast ordering wrong: engine %+v corel %+v",
+			byName["engine"], byName["corel"])
+	}
+}
+
+func TestUnknownSystemRejected(t *testing.T) {
+	if _, err := Run(Config{System: System(99), Replicas: 1, Clients: 1, ActionsPerClient: 1}); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"evsdb/internal/baseline/corel"
+	"evsdb/internal/baseline/twopc"
+	"evsdb/internal/cluster"
+	"evsdb/internal/db"
+	"evsdb/internal/evs"
+	"evsdb/internal/storage"
+	"evsdb/internal/transport/memnet"
+	"evsdb/internal/types"
+)
+
+// CostRow reports the measured per-action costs for one system — the
+// empirical counterpart of the paper's § 7 accounting ("our algorithm
+// only requires one forced disk write and one multicast message per
+// action").
+type CostRow struct {
+	System        string
+	Actions       int
+	MulticastsPer float64 // network multicast operations per action
+	UnicastsPer   float64 // network unicast operations per action
+	GenSyncsPer   float64 // forced writes per action at the generator
+	AllSyncsPer   float64 // forced writes per action summed over replicas
+}
+
+func (r CostRow) String() string {
+	return fmt.Sprintf("%-8s actions=%4d  multicast/action=%6.2f  unicast/action=%6.2f  gen syncs/action=%5.2f  total syncs/action=%5.2f",
+		r.System, r.Actions, r.MulticastsPer, r.UnicastsPer, r.GenSyncsPer, r.AllSyncsPer)
+}
+
+// CostModel measures message and forced-write counts per action for each
+// system: sequential actions from one client so per-action costs are not
+// hidden by batching.
+func CostModel(replicas, actions int, syncLatency time.Duration) ([]CostRow, error) {
+	var rows []CostRow
+	payload := db.EncodeUpdate(db.Noop(strings.Repeat("x", 180)))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Engine.
+	{
+		c, err := cluster.New(replicas,
+			cluster.WithSyncPolicy(storage.SyncForced),
+			cluster.WithSyncLatency(syncLatency))
+		if err != nil {
+			return nil, err
+		}
+		ids := c.IDs()
+		if err := c.WaitPrimary(30*time.Second, ids...); err != nil {
+			c.Close()
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+		before := c.Net.Stats()
+		var syncBefore, genBefore uint64
+		for i, id := range ids {
+			n := c.Replica(id).Log.SyncCount()
+			syncBefore += n
+			if i == 0 {
+				genBefore = n
+			}
+		}
+		eng := c.Replica(ids[0]).Engine
+		for i := 0; i < actions; i++ {
+			if _, err := eng.Submit(ctx, payload, nil, types.SemStrict); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		after := c.Net.Stats()
+		var syncAfter, genAfter uint64
+		for i, id := range ids {
+			n := c.Replica(id).Log.SyncCount()
+			syncAfter += n
+			if i == 0 {
+				genAfter = n
+			}
+		}
+		rows = append(rows, CostRow{
+			System:        "engine",
+			Actions:       actions,
+			MulticastsPer: float64(after.MulticastOps-before.MulticastOps) / float64(actions),
+			UnicastsPer:   float64(after.UnicastOps-before.UnicastOps) / float64(actions),
+			GenSyncsPer:   float64(genAfter-genBefore) / float64(actions),
+			AllSyncsPer:   float64(syncAfter-syncBefore) / float64(actions),
+		})
+		c.Close()
+	}
+
+	// COReL.
+	{
+		net := memnet.New()
+		var nodes []*evs.Node
+		var reps []*corel.Replica
+		var logs []*storage.MemLog
+		for i := 0; i < replicas; i++ {
+			id := cluster.ServerID(i)
+			ep, err := net.Attach(id)
+			if err != nil {
+				return nil, err
+			}
+			node := evs.NewNode(ep, evs.WithTick(500*time.Microsecond))
+			log := storage.NewMemLog(storage.Options{Policy: storage.SyncForced, SyncLatency: syncLatency})
+			nodes = append(nodes, node)
+			logs = append(logs, log)
+			reps = append(reps, corel.New(id, node, log))
+		}
+		time.Sleep(300 * time.Millisecond)
+		before := net.Stats()
+		var syncBefore uint64
+		for _, l := range logs {
+			syncBefore += l.SyncCount()
+		}
+		for i := 0; i < actions; i++ {
+			if err := reps[0].Submit(ctx, payload); err != nil {
+				return nil, err
+			}
+		}
+		after := net.Stats()
+		var syncAfter uint64
+		for _, l := range logs {
+			syncAfter += l.SyncCount()
+		}
+		rows = append(rows, CostRow{
+			System:        "corel",
+			Actions:       actions,
+			MulticastsPer: float64(after.MulticastOps-before.MulticastOps) / float64(actions),
+			UnicastsPer:   float64(after.UnicastOps-before.UnicastOps) / float64(actions),
+			GenSyncsPer:   float64(logs[0].SyncCount()) / float64(actions), // every replica forces; generator shown for comparison
+			AllSyncsPer:   float64(syncAfter-syncBefore) / float64(actions),
+		})
+		for _, r := range reps {
+			r.Close()
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+
+	// 2PC.
+	{
+		net := memnet.New()
+		var ids []types.ServerID
+		for i := 0; i < replicas; i++ {
+			ids = append(ids, cluster.ServerID(i))
+		}
+		var reps []*twopc.Replica
+		var logs []*storage.MemLog
+		for _, id := range ids {
+			ep, err := net.Attach(id)
+			if err != nil {
+				return nil, err
+			}
+			log := storage.NewMemLog(storage.Options{Policy: storage.SyncForced, SyncLatency: syncLatency})
+			logs = append(logs, log)
+			reps = append(reps, twopc.New(id, ep, log, ids))
+		}
+		before := net.Stats()
+		var syncBefore uint64
+		for _, l := range logs {
+			syncBefore += l.SyncCount()
+		}
+		for i := 0; i < actions; i++ {
+			if err := reps[0].Submit(ctx, payload); err != nil {
+				return nil, err
+			}
+		}
+		after := net.Stats()
+		var syncAfter uint64
+		for _, l := range logs {
+			syncAfter += l.SyncCount()
+		}
+		rows = append(rows, CostRow{
+			System:        "2pc",
+			Actions:       actions,
+			MulticastsPer: float64(after.MulticastOps-before.MulticastOps) / float64(actions),
+			UnicastsPer:   float64(after.UnicastOps-before.UnicastOps) / float64(actions),
+			GenSyncsPer:   float64(logs[0].SyncCount()-0) / float64(actions),
+			AllSyncsPer:   float64(syncAfter-syncBefore) / float64(actions),
+		})
+		for _, r := range reps {
+			r.Close()
+		}
+	}
+	return rows, nil
+}

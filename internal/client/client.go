@@ -1,0 +1,163 @@
+// Package client is the Go client library for replica HTTP endpoints
+// (cmd/replica / internal/httpapi): typed operations, endpoint rotation
+// and failover across replicas.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"evsdb/internal/httpapi"
+)
+
+// ErrAborted is returned when a replicated action aborted
+// deterministically (failed guard, rejected update).
+var ErrAborted = errors.New("client: action aborted")
+
+// Level selects read consistency.
+type Level string
+
+// Read consistency levels (paper § 6).
+const (
+	Strict Level = "strict"
+	Weak   Level = "weak"
+	Dirty  Level = "dirty"
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient overrides the underlying HTTP client.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetries sets how many endpoints are tried per operation (default:
+// all of them).
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// Client talks to one or more replicas, rotating on failure.
+type Client struct {
+	endpoints []string
+	http      *http.Client
+	retries   int
+	cursor    atomic.Uint64
+}
+
+// New builds a client over the given base endpoints
+// (e.g. "http://127.0.0.1:8001").
+func New(endpoints []string, opts ...Option) (*Client, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("client: need at least one endpoint")
+	}
+	c := &Client{
+		http: &http.Client{Timeout: 35 * time.Second},
+	}
+	for _, e := range endpoints {
+		c.endpoints = append(c.endpoints, strings.TrimSuffix(e, "/"))
+	}
+	c.retries = len(c.endpoints)
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.retries <= 0 {
+		c.retries = 1
+	}
+	return c, nil
+}
+
+// Set performs a strict replicated write and returns the action's global
+// order position.
+func (c *Client) Set(ctx context.Context, key, value string) (uint64, error) {
+	var res httpapi.WriteResult
+	err := c.do(ctx, http.MethodPost,
+		"/set?key="+url.QueryEscape(key)+"&value="+url.QueryEscape(value), &res)
+	return res.GreenSeq, err
+}
+
+// Add performs a commutative increment (available in any component).
+func (c *Client) Add(ctx context.Context, key string, delta int64) error {
+	var res httpapi.WriteResult
+	return c.do(ctx, http.MethodPost,
+		"/add?key="+url.QueryEscape(key)+"&delta="+strconv.FormatInt(delta, 10), &res)
+}
+
+// TSSet performs a timestamped write (highest timestamp wins).
+func (c *Client) TSSet(ctx context.Context, key, value string, ts int64) error {
+	var res httpapi.WriteResult
+	return c.do(ctx, http.MethodPost,
+		"/tsset?key="+url.QueryEscape(key)+"&value="+url.QueryEscape(value)+
+			"&ts="+strconv.FormatInt(ts, 10), &res)
+}
+
+// Get reads a key at the requested consistency level.
+func (c *Client) Get(ctx context.Context, key string, level Level) (httpapi.ReadResult, error) {
+	var res httpapi.ReadResult
+	err := c.do(ctx, http.MethodGet,
+		"/get?key="+url.QueryEscape(key)+"&level="+string(level), &res)
+	return res, err
+}
+
+// Status reports the state of whichever replica answers first.
+func (c *Client) Status(ctx context.Context) (httpapi.Status, error) {
+	var res httpapi.Status
+	err := c.do(ctx, http.MethodGet, "/status", &res)
+	return res, err
+}
+
+// Checkpoint asks a replica to compact its log.
+func (c *Client) Checkpoint(ctx context.Context) error {
+	var res map[string]bool
+	return c.do(ctx, http.MethodPost, "/checkpoint", &res)
+}
+
+// do runs one operation with endpoint rotation: unreachable or
+// unavailable replicas are skipped; deterministic aborts (409) are
+// terminal.
+func (c *Client) do(ctx context.Context, method, path string, out any) error {
+	start := int(c.cursor.Add(1))
+	var lastErr error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		base := c.endpoints[(start+attempt)%len(c.endpoints)]
+		req, err := http.NewRequestWithContext(ctx, method, base+path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err
+			continue // connection-level failure: try the next replica
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		_ = resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(body, out); err != nil {
+				return fmt.Errorf("decode response from %s: %w", base, err)
+			}
+			return nil
+		case http.StatusConflict:
+			return fmt.Errorf("%w: %s", ErrAborted, strings.TrimSpace(string(body)))
+		default:
+			lastErr = fmt.Errorf("%s: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no endpoints available")
+	}
+	return lastErr
+}

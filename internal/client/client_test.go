@@ -1,0 +1,179 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"evsdb/internal/cluster"
+	"evsdb/internal/httpapi"
+	"evsdb/internal/storage"
+)
+
+// buildAPICluster wires real engines behind httptest servers — the full
+// HTTP surface without processes.
+func buildAPICluster(t *testing.T, n int) (*cluster.Cluster, []string) {
+	t.Helper()
+	c, err := cluster.New(n, cluster.WithSyncPolicy(storage.SyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ids := c.IDs()
+	if err := c.WaitPrimary(15*time.Second, ids...); err != nil {
+		t.Fatal(err)
+	}
+	var endpoints []string
+	for _, id := range ids {
+		srv := httptest.NewServer(httpapi.New(c.Replica(id).Engine, httpapi.Config{}))
+		t.Cleanup(srv.Close)
+		endpoints = append(endpoints, srv.URL)
+	}
+	return c, endpoints
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	_, endpoints := buildAPICluster(t, 3)
+	cl, err := New(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	seq, err := cl.Set(ctx, "city", "baltimore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == 0 {
+		t.Fatal("no global position reported")
+	}
+	res, err := cl.Get(ctx, "city", Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Value != "baltimore" {
+		t.Fatalf("get: %+v", res)
+	}
+}
+
+func TestFailoverSkipsDeadEndpoint(t *testing.T) {
+	_, endpoints := buildAPICluster(t, 3)
+	// Prepend a dead endpoint: every operation must fail over.
+	cl, err := New(append([]string{"http://127.0.0.1:1"}, endpoints...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4; i++ { // rotation passes the dead one repeatedly
+		if _, err := cl.Set(ctx, "k", "v"); err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+}
+
+// TestAbortIsTerminal: a 409 from the server (a deterministic abort)
+// maps to ErrAborted and is NOT retried on another replica — the outcome
+// would be identical everywhere.
+func TestAbortIsTerminal(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits++
+		http.Error(w, "cas aborted: guard mismatch", http.StatusConflict)
+	}))
+	defer srv.Close()
+	cl, err := New([]string{srv.URL, srv.URL, srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Set(context.Background(), "k", "v")
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("409 did not map to ErrAborted: %v", err)
+	}
+	if hits != 1 {
+		t.Fatalf("abort was retried %d times", hits)
+	}
+}
+
+func TestCommutativeAddThroughAPI(t *testing.T) {
+	_, endpoints := buildAPICluster(t, 3)
+	cl, err := New(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := cl.Add(ctx, "n", 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := cl.Get(ctx, "n", Weak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value == "10" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n = %q, want 10", res.Value)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTSSetThroughAPI(t *testing.T) {
+	_, endpoints := buildAPICluster(t, 3)
+	cl, err := New(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.TSSet(ctx, "loc", "new", 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.TSSet(ctx, "loc", "old", 10); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := cl.Get(ctx, "loc", Weak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value == "new" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loc = %q", res.Value)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStatusAndCheckpoint(t *testing.T) {
+	_, endpoints := buildAPICluster(t, 3)
+	cl, err := New(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "RegPrim" || len(st.Servers) != 3 {
+		t.Fatalf("status: %+v", st)
+	}
+	if err := cl.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty endpoint list accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"evsdb/internal/db"
+	"evsdb/internal/types"
+)
+
+// TestChurnWithCrashesAndRecoveries extends the torture test with full
+// replica crashes (losing unsynced state) and recoveries interleaved with
+// partitions. Total order must hold at every convergence point.
+func TestChurnWithCrashesAndRecoveries(t *testing.T) {
+	const replicas = 5
+	rng := rand.New(rand.NewSource(23))
+	c := testCluster(t, replicas)
+	all := c.IDs()
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 8; round++ {
+		victim := all[rng.Intn(replicas)]
+		c.Crash(victim)
+
+		// The survivors re-form (4 of 5 always has quorum).
+		var survivors []types.ServerID
+		for _, id := range all {
+			if id != victim {
+				survivors = append(survivors, id)
+			}
+		}
+		if err := c.WaitPrimary(15*time.Second, survivors...); err != nil {
+			t.Fatalf("round %d after crash of %s: %v", round, victim, err)
+		}
+		// Commit work without the victim.
+		for i := 0; i < 5; i++ {
+			mustSet(t, c, survivors[rng.Intn(len(survivors))],
+				fmt.Sprintf("churn-%d-%d", round, i), "v")
+		}
+		// Optionally partition the survivors too.
+		if rng.Intn(2) == 0 {
+			c.Partition(survivors[:3], survivors[3:])
+			time.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+			c.Heal()
+		}
+		if _, err := c.Recover(victim); err != nil {
+			t.Fatalf("round %d recover %s: %v", round, victim, err)
+		}
+		if err := c.WaitPrimary(20*time.Second, all...); err != nil {
+			t.Fatalf("round %d after recovery: %v", round, err)
+		}
+		if err := c.CheckTotalOrder(all...); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// Everything committed anywhere is visible everywhere.
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 5; i++ {
+			key := fmt.Sprintf("churn-%d-%d", round, i)
+			for _, id := range all {
+				waitValue(t, c, id, key, "v")
+			}
+		}
+	}
+}
+
+// TestJoinsUnderChurn admits new replicas while partitions come and go;
+// every joiner must fully converge and the grown cluster must maintain
+// total order.
+func TestJoinsUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := testCluster(t, 3)
+	all := c.IDs()
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	mustSet(t, c, all[0], "genesis", "1")
+
+	members := append([]types.ServerID(nil), all...)
+	for j := 0; j < 3; j++ {
+		// Background traffic during the join.
+		stopTraffic := make(chan struct{})
+		trafficDone := make(chan struct{})
+		go func(j int) {
+			defer close(trafficDone)
+			for i := 0; ; i++ {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				r := c.Replica(all[i%3])
+				if r != nil {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					_, _ = r.Engine.Submit(ctx,
+						db.EncodeUpdate(db.Set(fmt.Sprintf("bg-%d-%d", j, i), "x")), nil, types.SemStrict)
+					cancel()
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(j)
+
+		joiner := types.ServerID(fmt.Sprintf("j%02d", j))
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if _, err := c.Join(ctx, joiner, members[rng.Intn(len(members))]); err != nil {
+			cancel()
+			t.Fatalf("join %s: %v", joiner, err)
+		}
+		cancel()
+		members = append(members, joiner)
+		close(stopTraffic)
+		<-trafficDone
+
+		// A quick partition wiggle with the joiner in the mix.
+		perm := rng.Perm(len(members))
+		cut := 1 + rng.Intn(len(members)-1)
+		var left, right []types.ServerID
+		for i, p := range perm {
+			if i < cut {
+				left = append(left, members[p])
+			} else {
+				right = append(right, members[p])
+			}
+		}
+		c.Partition(left, right)
+		time.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+		c.Heal()
+
+		if err := c.WaitPrimary(25*time.Second, members...); err != nil {
+			t.Fatalf("after join %s: %v", joiner, err)
+		}
+		waitValue(t, c, joiner, "genesis", "1")
+		if err := c.CheckTotalOrder(members...); err != nil {
+			t.Fatalf("after join %s: %v", joiner, err)
+		}
+	}
+	// Final sanity: the 6-member cluster commits and replicates.
+	mustSet(t, c, members[len(members)-1], "final", "done")
+	for _, id := range members {
+		waitValue(t, c, id, "final", "done")
+	}
+}

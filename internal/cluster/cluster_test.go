@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"evsdb/internal/core"
+	"evsdb/internal/db"
+	"evsdb/internal/storage"
+	"evsdb/internal/types"
+)
+
+func testCluster(t *testing.T, n int, opts ...Option) *Cluster {
+	t.Helper()
+	opts = append([]Option{WithSyncPolicy(storage.SyncNone)}, opts...)
+	c, err := New(n, opts...)
+	if err != nil {
+		t.Fatalf("new cluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func mustSet(t *testing.T, c *Cluster, id types.ServerID, key, value string) {
+	t.Helper()
+	r := c.Replica(id)
+	reply, err := r.Engine.Submit(ctx(t), db.EncodeUpdate(db.Set(key, value)), nil, types.SemStrict)
+	if err != nil {
+		t.Fatalf("submit set %s=%s at %s: %v", key, value, id, err)
+	}
+	if reply.Err != "" {
+		t.Fatalf("set %s=%s at %s aborted: %s", key, value, id, reply.Err)
+	}
+}
+
+func mustGet(t *testing.T, c *Cluster, id types.ServerID, key string) string {
+	t.Helper()
+	r := c.Replica(id)
+	res, err := r.Engine.Query(ctx(t), db.Get(key), core.QueryWeak)
+	if err != nil {
+		t.Fatalf("weak get %s at %s: %v", key, id, err)
+	}
+	return res.Value
+}
+
+func waitValue(t *testing.T, c *Cluster, id types.ServerID, key, want string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if mustGet(t, c, id, key) == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("replica %s never saw %s=%q (have %q)", id, key, want, mustGet(t, c, id, key))
+}
+
+func TestPrimaryFormsAndReplicates(t *testing.T) {
+	c := testCluster(t, 5)
+	all := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+
+	mustSet(t, c, all[0], "k", "v1")
+	mustSet(t, c, all[3], "k2", "v2")
+
+	for _, id := range all {
+		waitValue(t, c, id, "k", "v1")
+		waitValue(t, c, id, "k2", "v2")
+	}
+	if err := c.CheckTotalOrder(all...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSubmittersTotalOrder(t *testing.T) {
+	c := testCluster(t, 5)
+	all := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+
+	const perServer = 30
+	errs := make(chan error, len(all))
+	for _, id := range all {
+		go func(id types.ServerID) {
+			r := c.Replica(id)
+			for i := 0; i < perServer; i++ {
+				key := fmt.Sprintf("key-%s-%d", id, i)
+				_, err := r.Engine.Submit(context.Background(),
+					db.EncodeUpdate(db.Set(key, "x")), nil, types.SemStrict)
+				if err != nil {
+					errs <- fmt.Errorf("%s submit %d: %w", id, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(id)
+	}
+	for range all {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := uint64(perServer * len(all))
+	if err := c.WaitGreenCount(total, 15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckTotalOrder(all...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionMajorityStaysPrimary(t *testing.T) {
+	c := testCluster(t, 5)
+	all := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	mustSet(t, c, all[0], "pre", "1")
+
+	maj := all[:3]
+	min := all[3:]
+	c.Partition(maj, min)
+
+	if err := c.WaitPrimary(10*time.Second, maj...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitNonPrim(10*time.Second, min...); err != nil {
+		t.Fatal(err)
+	}
+
+	// The majority keeps committing.
+	mustSet(t, c, maj[0], "maj", "yes")
+	for _, id := range maj {
+		waitValue(t, c, id, "maj", "yes")
+	}
+
+	// The minority cannot commit, but red actions serve dirty reads and
+	// the green state serves weak reads.
+	minRep := c.Replica(min[0])
+	replyCh, err := minRep.Engine.SubmitAsync(db.EncodeUpdate(db.Set("min", "pending")), nil, types.SemStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-replyCh:
+		t.Fatalf("minority action committed during partition: %+v", r)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	weak, err := minRep.Engine.Query(ctx(t), db.Get("pre"), core.QueryWeak)
+	if err != nil || weak.Value != "1" {
+		t.Fatalf("weak query: %v %+v", err, weak)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dirty, err := minRep.Engine.Query(ctx(t), db.Get("min"), core.QueryDirty)
+		if err == nil && dirty.Value == "pending" && dirty.Dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dirty query never saw the red action: %+v err=%v", dirty, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Merge: the minority's red action obtains a global order; the
+	// blocked Submit completes.
+	c.Heal()
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-replyCh:
+		if r.Err != "" {
+			t.Fatalf("minority action aborted after merge: %s", r.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("minority action never committed after merge")
+	}
+	for _, id := range all {
+		waitValue(t, c, id, "min", "pending")
+		waitValue(t, c, id, "maj", "yes")
+	}
+	if err := c.CheckTotalOrder(all...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinorityNeverFormsPrimary(t *testing.T) {
+	c := testCluster(t, 5)
+	all := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	c.Partition(all[:2], all[2:3], all[3:])
+
+	// No component holds 3 of 5: everyone must settle in NonPrim.
+	if err := c.WaitNonPrim(10*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	// And stay there.
+	time.Sleep(100 * time.Millisecond)
+	for _, id := range all {
+		if st := c.Replica(id).Engine.Status(); st.State == core.RegPrim {
+			t.Fatalf("%s formed a primary without quorum", id)
+		}
+	}
+}
+
+func TestCrashRecoveryConverges(t *testing.T) {
+	c := testCluster(t, 3)
+	all := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	mustSet(t, c, all[0], "a", "1")
+
+	c.Crash(all[2])
+	if err := c.WaitPrimary(10*time.Second, all[:2]...); err != nil {
+		t.Fatal(err)
+	}
+	mustSet(t, c, all[0], "b", "2")
+
+	if _, err := c.Recover(all[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	waitValue(t, c, all[2], "a", "1")
+	waitValue(t, c, all[2], "b", "2")
+	if err := c.CheckTotalOrder(all...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointThenCrashRecover(t *testing.T) {
+	c := testCluster(t, 3)
+	all := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		mustSet(t, c, all[i%3], fmt.Sprintf("k%d", i), "v")
+	}
+	// Compact s01's log, then crash and recover it: replay starts from
+	// the checkpoint and the replica converges as usual.
+	if err := c.Replica(all[1]).Engine.Checkpoint(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(all[1])
+	if err := c.WaitPrimary(10*time.Second, all[0], all[2]); err != nil {
+		t.Fatal(err)
+	}
+	mustSet(t, c, all[0], "post", "crash")
+	if _, err := c.Recover(all[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		waitValue(t, c, all[1], fmt.Sprintf("k%d", i), "v")
+	}
+	waitValue(t, c, all[1], "post", "crash")
+	if err := c.CheckTotalOrder(all...); err != nil {
+		t.Fatal(err)
+	}
+}

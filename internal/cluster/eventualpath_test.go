@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"evsdb/internal/core"
+	"evsdb/internal/db"
+	"evsdb/internal/types"
+)
+
+// TestEventualPathPropagation checks the paper's § 3.1 claim: knowledge
+// propagates by eventual path — the exchange runs in EVERY new component,
+// so green actions reach servers that were never connected to the primary
+// component that ordered them.
+//
+// Topology (7 replicas):
+//  1. {s0..s3} is the primary and orders action X; {s4,s5,s6} is isolated.
+//  2. Re-partition to {s0,s1,s2} | {s3,s4} | {s5,s6}: s3 carries X into
+//     the non-primary component {s3,s4}. s4 must learn X as green there,
+//     without ever having been connected to the primary that ordered it.
+func TestEventualPathPropagation(t *testing.T) {
+	c := testCluster(t, 7)
+	all := c.IDs()
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: primary {s0..s3} orders X; {s4,s5,s6} never sees it.
+	c.Partition(all[:4], all[4:])
+	if err := c.WaitPrimary(10*time.Second, all[:4]...); err != nil {
+		t.Fatal(err)
+	}
+	mustSet(t, c, all[0], "x", "ordered-in-primary")
+
+	// Phase 2: s3 meets s4 in a strictly non-primary component (2 of 7).
+	c.Partition(all[:3], []types.ServerID{all[3], all[4]}, all[5:])
+	if err := c.WaitNonPrim(10*time.Second, all[3], all[4]); err != nil {
+		t.Fatal(err)
+	}
+
+	// s4 obtains X as green via the exchange — the global order is known,
+	// so the action applies even though the component is non-primary.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := c.Replica(all[4]).Engine.Query(ctx(t), db.Get("x"), core.QueryWeak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value == "ordered-in-primary" {
+			break
+		}
+		if time.Now().After(deadline) {
+			st := c.Replica(all[4]).Engine.Status()
+			t.Fatalf("eventual path failed: s4 green=%d state=%v value=%q",
+				st.GreenCount, st.State, res.Value)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// And it stayed non-primary the whole time.
+	if st := c.Replica(all[4]).Engine.Status(); st.State != core.NonPrim {
+		t.Fatalf("s4 is %v, expected NonPrim", st.State)
+	}
+	if err := c.CheckTotalOrder(all[3], all[4]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRedActionsPropagateThroughNonPrimary: the dual of the green case —
+// red actions travel via non-primary exchanges so they reach the primary
+// through intermediaries (the generator never reconnects).
+func TestRedActionsPropagateThroughNonPrimary(t *testing.T) {
+	c := testCluster(t, 5)
+	all := c.IDs()
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+
+	// s4 is isolated and generates a red action.
+	c.Partition(all[:4], all[4:])
+	if err := c.WaitNonPrim(10*time.Second, all[4]); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := c.Replica(all[4]).Engine.SubmitAsync(
+		db.EncodeUpdate(db.Set("carried", "by-intermediary")), nil, types.SemStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the action is red locally.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Replica(all[4]).Engine.Status().RedCount == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("action never turned red at s4")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// s3 meets s4 in a non-primary component and picks up the red action.
+	c.Partition(all[:3], all[3:])
+	if err := c.WaitNonPrim(10*time.Second, all[3], all[4]); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Replica(all[3]).Engine.Status().RedCount == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("red action never reached s3 via the exchange")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Now s3 rejoins the majority — s4 stays isolated — and the carried
+	// action gets ordered by a primary s4 has never reconnected to.
+	c.Partition(all[:4], all[4:])
+	if err := c.WaitPrimary(10*time.Second, all[:4]...); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range all[:4] {
+		waitValue(t, c, id, "carried", "by-intermediary")
+	}
+
+	// Finally s4 reconnects and its pending submit completes.
+	c.Heal()
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-pending:
+		if r.Err != "" {
+			t.Fatalf("carried action aborted: %s", r.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending submit never answered")
+	}
+	if err := c.CheckTotalOrder(all...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJoinCompletesViaNonPrimaryPeer: the joiner's representative sits in
+// a non-primary component; the PERSISTENT_JOIN is carried to the primary
+// by eventual path, turns green, propagates back, and the join completes
+// — the joiner itself never talks to the primary (paper § 5.1).
+func TestJoinCompletesViaNonPrimaryPeer(t *testing.T) {
+	c := testCluster(t, 5)
+	all := c.IDs()
+	if err := c.WaitPrimary(15*time.Second, all...); err != nil {
+		t.Fatal(err)
+	}
+	mustSet(t, c, all[0], "seed", "1")
+
+	// The representative s4 is in the minority.
+	c.Partition(all[:3], all[3:])
+	if err := c.WaitNonPrim(10*time.Second, all[3], all[4]); err != nil {
+		t.Fatal(err)
+	}
+
+	joinDone := make(chan error, 1)
+	go func() {
+		_, err := c.Join(ctx(t), "s99", all[4])
+		joinDone <- err
+	}()
+	// The join cannot complete while the representative is non-primary.
+	select {
+	case err := <-joinDone:
+		t.Fatalf("join completed in a non-primary component: %v", err)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// Merge the representative's component with the primary briefly; the
+	// JOIN action gets ordered; then the minority splits off again and
+	// the join STILL completes (the green JOIN came back with s4).
+	c.Heal()
+	select {
+	case err := <-joinDone:
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("join never completed after merge")
+	}
+	// The joiner inherited the seed through the snapshot.
+	waitValue(t, c, "s99", "seed", "1")
+}

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRapidRepartitionTotalOrder hammers Theorem 1 under rapid
+// re-partitioning (regression: a non-atomic history snapshot in the
+// checker once produced false violations here).
+func TestRapidRepartitionTotalOrder(t *testing.T) {
+	for attempt := 0; attempt < 40; attempt++ {
+		func() {
+			c := testCluster(t, 5)
+			all := c.IDs()
+			if err := c.WaitPrimary(10*time.Second, all...); err != nil {
+				t.Fatal(err)
+			}
+			mustSet(t, c, all[0], "pre", "1")
+			for round := 0; round < 3; round++ {
+				c.Partition(all[:3], all[3:])
+				time.Sleep(time.Duration(round) * time.Millisecond)
+				c.Partition(all[:2], all[2:])
+				time.Sleep(time.Duration(round) * time.Millisecond)
+				c.Heal()
+				if err := c.WaitPrimary(20*time.Second, all...); err != nil {
+					t.Fatalf("attempt %d round %d: %v", attempt, round, err)
+				}
+				mustSet(t, c, all[round%5], fmt.Sprintf("round%d", round), "done")
+				if err := c.CheckTotalOrder(all...); err != nil {
+					for _, id := range all {
+						h, hStart := c.Replica(id).Engine.GreenHistory()
+						st := c.Replica(id).Engine.Status()
+						t.Logf("%s green=%d base-start=%d hist=%v", id, st.GreenCount, hStart, h)
+					}
+					t.Fatalf("attempt %d round %d: %v", attempt, round, err)
+				}
+			}
+			c.Close()
+		}()
+	}
+}

@@ -1,0 +1,690 @@
+// Package core implements the replication engine of Amir & Tutu, "From
+// Total Order to Database Replication" (CNDS-2001-6 / ICDCS 2002).
+//
+// The engine turns the Safe-delivery total order of an Extended Virtual
+// Synchrony group communication layer into a global persistent consistent
+// order of actions across a partitionable set of database replicas,
+// without per-action end-to-end acknowledgments: one state-exchange round
+// runs per membership change instead.
+//
+// The state machine (paper Fig. 4, Appendix A) has eight states:
+//
+//	RegPrim        primary component, steady state: safe-delivered
+//	               actions turn green immediately
+//	TransPrim      primary's transitional configuration: actions turn
+//	               yellow
+//	ExchangeStates after a view change: servers exchange state messages
+//	ExchangeActions servers retransmit actions to reach the maximal
+//	               common state
+//	Construct      quorum reached: exchange Create Primary Component
+//	               (CPC) messages
+//	No             interrupted installation, presumed failed
+//	Un             interrupted installation, outcome unknown
+//	NonPrim        non-primary component: actions turn red
+//
+// Action knowledge follows the coloring model (Figs. 1 and 3): red
+// (ordered locally), yellow (ordered by a primary's transitional
+// configuration), green (global order known), white (green everywhere,
+// discardable).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"evsdb/internal/db"
+	"evsdb/internal/evs"
+	"evsdb/internal/quorum"
+	"evsdb/internal/storage"
+	"evsdb/internal/types"
+)
+
+// State is the replication engine's state-machine state.
+type State int
+
+const (
+	// NonPrim: member of a non-primary component.
+	NonPrim State = iota + 1
+	// RegPrim: member of the primary component, regular configuration.
+	RegPrim
+	// TransPrim: primary component, transitional configuration.
+	TransPrim
+	// ExchangeStates: exchanging state messages after a view change.
+	ExchangeStates
+	// ExchangeActions: retransmitting actions to the maximal common state.
+	ExchangeActions
+	// Construct: attempting to install a new primary component.
+	Construct
+	// No: installation interrupted; no server is known to have installed.
+	No
+	// Un: installation interrupted; some server may have installed.
+	Un
+)
+
+func (s State) String() string {
+	switch s {
+	case NonPrim:
+		return "NonPrim"
+	case RegPrim:
+		return "RegPrim"
+	case TransPrim:
+		return "TransPrim"
+	case ExchangeStates:
+		return "ExchangeStates"
+	case ExchangeActions:
+		return "ExchangeActions"
+	case Construct:
+		return "Construct"
+	case No:
+		return "No"
+	case Un:
+		return "Un"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// GroupCom is the group-communication service the engine requires:
+// Safe-delivery multicast plus EVS membership events.
+type GroupCom interface {
+	Multicast(payload []byte, service evs.ServiceLevel) error
+	Events() <-chan evs.Event
+}
+
+// Errors returned by the public API.
+var (
+	ErrClosed = errors.New("core: engine closed")
+	ErrLeft   = errors.New("core: server has left the replica set")
+)
+
+// Reply answers a submitted action once its outcome is known.
+type Reply struct {
+	// Err is non-empty when the action aborted deterministically (failed
+	// CAS guard, failed procedure, malformed update).
+	Err string
+	// Result holds the query part's answer, if the action had one.
+	Result db.Result
+	// GreenSeq is the action's global order position (0 for relaxed-
+	// semantics replies issued before global ordering).
+	GreenSeq uint64
+}
+
+// QueryLevel selects the consistency of a read (paper § 6).
+type QueryLevel int
+
+const (
+	// QueryStrict orders the query like an action: the answer reflects
+	// the global prefix and is only produced in a primary component.
+	QueryStrict QueryLevel = iota + 1
+	// QueryWeak answers immediately from the consistent but possibly
+	// obsolete green state.
+	QueryWeak
+	// QueryDirty answers immediately from the green state plus the
+	// effects of red (locally ordered) actions.
+	QueryDirty
+)
+
+// Config assembles an engine.
+type Config struct {
+	// ID is this server's identifier.
+	ID types.ServerID
+	// Servers is the initial replica set (paper § 2: fixed and known in
+	// advance; § 5.1 joins and leaves adjust it at runtime).
+	Servers []types.ServerID
+	// GC is the group communication endpoint.
+	GC GroupCom
+	// Log is the stable storage for the engine's sync points.
+	Log storage.Log
+	// DB is the replicated database; nil means a fresh empty database.
+	DB *db.Database
+	// Quorum selects the primary component rule; nil means dynamic
+	// linear voting with unit weights.
+	Quorum quorum.System
+	// Recover replays Log before starting (crash recovery).
+	Recover bool
+}
+
+type submitReq struct {
+	action types.Action
+	ch     chan Reply
+}
+
+type joinReq struct {
+	joiner types.ServerID
+	ch     chan joinResp
+}
+
+type joinResp struct {
+	snap *JoinSnapshot
+	err  error
+}
+
+type statusReq struct {
+	ch chan Status
+}
+
+// Metrics counts engine activity since start.
+type Metrics struct {
+	// Generated counts actions created at this server.
+	Generated uint64
+	// Applied counts actions this server marked green.
+	Applied uint64
+	// Exchanges counts state-exchange rounds (one per view change).
+	Exchanges uint64
+	// Installs counts primary components this server installed.
+	Installs uint64
+	// Retransmitted counts actions this server re-sent during exchanges.
+	Retransmitted uint64
+}
+
+// Status is a snapshot of the engine's externally observable state.
+type Status struct {
+	State      State
+	Conf       types.Configuration
+	GreenCount uint64
+	RedCount   int
+	WhiteBase  uint64 // greens discarded as white
+	Prim       PrimComponent
+	Vulnerable bool
+	ServerSet  []types.ServerID
+	Metrics    Metrics
+}
+
+// Engine is one replication server.
+type Engine struct {
+	id     types.ServerID
+	gc     GroupCom
+	log    storage.Log
+	db     *db.Database
+	quo    quorum.System
+	syncer *storage.AsyncSyncer
+
+	submitCh     chan submitReq
+	joinCh       chan joinReq
+	statusCh     chan statusReq
+	historyCh    chan chan historySnap
+	leaveCh      chan chan error
+	checkpointCh chan chan error
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	// Everything below is owned by the run loop (paper Appendix A
+	// variables keep their names where practical).
+	st           State
+	conf         types.Configuration // current regular configuration
+	actionIndex  uint64
+	attemptIndex uint64
+	prim         PrimComponent
+	vuln         Vulnerable
+	yellow       Yellow
+	queue        *actionsQueue
+	ongoing      map[types.ActionID]types.Action // created here, not yet delivered (paper ongoingQueue)
+	redCut       map[types.ServerID]uint64
+	orderedIdx   map[types.ServerID]uint64 // highest green index per creator
+	greenKnown   map[types.ServerID]uint64 // paper's greenLines, as counts
+	serverSet    map[types.ServerID]bool
+	stateMsgs    map[types.ServerID]stateMsg
+	cpcFrom      map[types.ServerID]bool
+	plan         *retransPlan
+	pendingGreen map[uint64]types.Action // out-of-order green retransmissions
+	buffered     []submitReq             // client requests held outside Prim/NonPrim
+	pendingReply map[types.ActionID]chan Reply
+	appliedRed   map[types.ActionID]bool // relaxed actions applied eagerly
+	// Query fast path (§ 6): strict query-only requests in the primary
+	// are answered from the green state once every earlier local action
+	// has applied, without generating an ordered action message.
+	lastLocalPending types.ActionID
+	queryWait        map[types.ActionID][]submitReq
+	joinWaiters      map[types.ServerID][]chan joinResp
+	pendingJoins     []joinReq
+	left             bool
+	vulnByServer     map[types.ServerID]Vulnerable // post-ComputeKnowledge view
+	history          []types.ActionID              // full green order (Theorem 1 checks)
+	replaying        bool                          // suppress logging/replies during recovery
+	ioFailed         bool                          // stable storage failed; refuse new work
+	metrics          Metrics
+}
+
+// New assembles an engine, optionally recovers it from its log, and
+// starts its event loop.
+func New(cfg Config) (*Engine, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Recover {
+		if err := e.recover(); err != nil {
+			return nil, fmt.Errorf("recover: %w", err)
+		}
+	}
+	go e.run()
+	return e, nil
+}
+
+// newEngine builds an engine without starting its loop.
+func newEngine(cfg Config) (*Engine, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("core: config needs an ID")
+	}
+	if cfg.GC == nil {
+		return nil, errors.New("core: config needs a group communication endpoint")
+	}
+	if cfg.Log == nil {
+		return nil, errors.New("core: config needs a stable-storage log")
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("core: config needs the initial server set")
+	}
+	database := cfg.DB
+	if database == nil {
+		database = db.New()
+	}
+	quo := cfg.Quorum
+	if quo == nil {
+		quo = quorum.DynamicLinear{}
+	}
+	e := &Engine{
+		id:           cfg.ID,
+		gc:           cfg.GC,
+		log:          cfg.Log,
+		db:           database,
+		quo:          quo,
+		submitCh:     make(chan submitReq),
+		joinCh:       make(chan joinReq),
+		statusCh:     make(chan statusReq),
+		historyCh:    make(chan chan historySnap),
+		leaveCh:      make(chan chan error),
+		checkpointCh: make(chan chan error),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		st:           NonPrim,
+		queue:        newActionsQueue(),
+		ongoing:      make(map[types.ActionID]types.Action),
+		redCut:       make(map[types.ServerID]uint64),
+		orderedIdx:   make(map[types.ServerID]uint64),
+		greenKnown:   make(map[types.ServerID]uint64),
+		serverSet:    make(map[types.ServerID]bool),
+		pendingGreen: make(map[uint64]types.Action),
+		pendingReply: make(map[types.ActionID]chan Reply),
+		appliedRed:   make(map[types.ActionID]bool),
+		queryWait:    make(map[types.ActionID][]submitReq),
+		joinWaiters:  make(map[types.ServerID][]chan joinResp),
+	}
+	for _, s := range cfg.Servers {
+		e.serverSet[s] = true
+	}
+	e.syncer = storage.NewAsyncSyncer(e.log)
+	// Bootstrap quorum rule: before any primary exists, the component
+	// must hold a majority of the full initial set.
+	e.prim = PrimComponent{Servers: append([]types.ServerID(nil), cfg.Servers...)}
+	return e, nil
+}
+
+// DB exposes the underlying database (for registering procedures and for
+// examples' direct weak reads).
+func (e *Engine) DB() *db.Database { return e.db }
+
+// ID returns the server identifier.
+func (e *Engine) ID() types.ServerID { return e.id }
+
+// Close stops the engine loop. It does not close the group communication
+// endpoint or the log; the caller owns those.
+func (e *Engine) Close() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	<-e.done
+	e.syncer.Close()
+}
+
+// Submit injects a client action and waits for its reply: for strict
+// semantics, when the action turns green; for relaxed semantics, as soon
+// as it is applied locally. Blocks across partitions until the action can
+// be globally ordered or ctx expires.
+func (e *Engine) Submit(ctx context.Context, update []byte, query []byte, sem types.Semantics) (Reply, error) {
+	ch, err := e.SubmitAsync(update, query, sem)
+	if err != nil {
+		return Reply{}, err
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-ctx.Done():
+		return Reply{}, ctx.Err()
+	case <-e.stop:
+		return Reply{}, ErrClosed
+	}
+}
+
+// SubmitAsync injects a client action and returns the reply channel.
+func (e *Engine) SubmitAsync(update []byte, query []byte, sem types.Semantics) (<-chan Reply, error) {
+	a := types.Action{
+		Type:      types.ActionUpdate,
+		Semantics: sem,
+		Update:    update,
+		Query:     query,
+	}
+	if len(update) == 0 && len(query) > 0 {
+		a.Type = types.ActionQuery
+	}
+	req := submitReq{action: a, ch: make(chan Reply, 1)}
+	select {
+	case e.submitCh <- req:
+		return req.ch, nil
+	case <-e.stop:
+		return nil, ErrClosed
+	}
+}
+
+// Query reads at the requested consistency level. Strict queries are
+// ordered like actions; weak and dirty queries answer immediately from
+// local state (paper § 6).
+func (e *Engine) Query(ctx context.Context, query []byte, level QueryLevel) (db.Result, error) {
+	switch level {
+	case QueryWeak:
+		return e.db.QueryGreen(query)
+	case QueryDirty:
+		return e.db.QueryDirty(query)
+	default:
+		r, err := e.Submit(ctx, nil, query, types.SemStrict)
+		if err != nil {
+			return db.Result{}, err
+		}
+		if r.Err != "" {
+			return db.Result{}, errors.New(r.Err)
+		}
+		return r.Result, nil
+	}
+}
+
+// Checkpoint compacts the engine's log: the current state replaces the
+// record history, bounding recovery time and disk usage. Requires a log
+// implementing storage.Compactable.
+func (e *Engine) Checkpoint(ctx context.Context) error {
+	ch := make(chan error, 1)
+	select {
+	case e.checkpointCh <- ch:
+	case <-e.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-e.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+type historySnap struct {
+	seq     []types.ActionID
+	firstAt uint64
+}
+
+// GreenHistory returns the green order recorded by this server and the
+// global sequence number of its first entry, consistently snapshotted —
+// the input to order-invariant checks (Theorems 1 and 2).
+func (e *Engine) GreenHistory() ([]types.ActionID, uint64) {
+	ch := make(chan historySnap, 1)
+	select {
+	case e.historyCh <- ch:
+		s := <-ch
+		return s.seq, s.firstAt
+	case <-e.stop:
+		return nil, 0
+	case <-e.done:
+		return nil, 0
+	}
+}
+
+// Status reports the engine's current state (tests and tooling).
+func (e *Engine) Status() Status {
+	req := statusReq{ch: make(chan Status, 1)}
+	select {
+	case e.statusCh <- req:
+		return <-req.ch
+	case <-e.stop:
+		return Status{}
+	case <-e.done:
+		return Status{}
+	}
+}
+
+// RequestJoin admits a new replica: this server acts as its
+// representative, creating a PERSISTENT_JOIN action; when the action
+// turns green here, the returned snapshot captures the state the joiner
+// must restore before running (paper § 5.1). Blocks until then.
+func (e *Engine) RequestJoin(ctx context.Context, joiner types.ServerID) (*JoinSnapshot, error) {
+	req := joinReq{joiner: joiner, ch: make(chan joinResp, 1)}
+	select {
+	case e.joinCh <- req:
+	case <-e.stop:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case resp := <-req.ch:
+		return resp.snap, resp.err
+	case <-e.stop:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Leave permanently removes this server from the replica set by ordering
+// a PERSISTENT_LEAVE action. The call returns once the request is issued.
+func (e *Engine) Leave(ctx context.Context) error {
+	ch := make(chan error, 1)
+	select {
+	case e.leaveCh <- ch:
+	case <-e.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-e.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the engine event loop: one goroutine owns all protocol state.
+func (e *Engine) run() {
+	defer close(e.done)
+	events := e.gc.Events()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			e.handleEvent(ev)
+		case req := <-e.submitCh:
+			e.handleSubmit(req)
+		case req := <-e.joinCh:
+			e.handleJoinRequest(req)
+		case ch := <-e.leaveCh:
+			e.handleLeave(ch)
+		case req := <-e.statusCh:
+			req.ch <- e.statusLocked()
+		case ch := <-e.historyCh:
+			ch <- historySnap{
+				seq:     append([]types.ActionID(nil), e.history...),
+				firstAt: e.queue.greenCount() - uint64(len(e.history)) + 1,
+			}
+		case ch := <-e.checkpointCh:
+			ch <- e.checkpoint()
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Engine) statusLocked() Status {
+	set := make([]types.ServerID, 0, len(e.serverSet))
+	for s := range e.serverSet {
+		set = append(set, s)
+	}
+	types.SortServerIDs(set)
+	return Status{
+		State:      e.st,
+		Conf:       e.conf.Clone(),
+		GreenCount: e.queue.greenCount(),
+		RedCount:   e.queue.redCount(),
+		WhiteBase:  e.queue.base,
+		Prim:       e.prim,
+		Vulnerable: e.vuln.Status,
+		ServerSet:  set,
+		Metrics:    e.metrics,
+	}
+}
+
+func (e *Engine) handleEvent(ev evs.Event) {
+	switch t := ev.(type) {
+	case evs.ViewChange:
+		if t.Config.Transitional {
+			e.onTransConf(t.Config)
+		} else {
+			e.onRegConf(t.Config)
+		}
+	case evs.Delivery:
+		m, err := decodeEngineMsg(t.Payload)
+		if err != nil {
+			return // foreign traffic on the group; ignore
+		}
+		switch m.Kind {
+		case emAction:
+			if m.Action != nil {
+				e.onAction(*m.Action)
+			}
+		case emState:
+			if m.State != nil {
+				e.onStateMsg(*m.State)
+			}
+		case emCPC:
+			if m.CPC != nil {
+				e.onCPC(*m.CPC)
+			}
+		case emRetrans:
+			if m.Retrans != nil {
+				e.onRetrans(*m.Retrans)
+			}
+		}
+	}
+}
+
+// generate multicasts an action with Safe delivery (paper "generate
+// action"). Runs on the sync writer as well as the loop; the multicast is
+// thread-safe and the metrics counter is bumped at creation instead.
+func (e *Engine) generate(a types.Action) {
+	_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emAction, Action: &a}), evs.Safe)
+}
+
+// handleSubmit implements the Client req event for every state: create
+// and generate in RegPrim and NonPrim, buffer elsewhere.
+func (e *Engine) handleSubmit(req submitReq) {
+	if e.left {
+		req.ch <- Reply{Err: ErrLeft.Error()}
+		return
+	}
+	if e.ioFailed {
+		req.ch <- Reply{Err: "core: stable storage failed; refusing new actions"}
+		return
+	}
+	// § 6 query optimization: a strict query-only request in the primary
+	// component needs no ordered action message — it is answered from the
+	// consistent green state as soon as every earlier action generated at
+	// this server has applied.
+	if e.st == RegPrim && req.action.Type == types.ActionQuery &&
+		req.action.Semantics == types.SemStrict && len(req.action.Update) == 0 {
+		if e.lastLocalPending.Zero() {
+			e.answerQuery(req)
+		} else {
+			e.queryWait[e.lastLocalPending] = append(e.queryWait[e.lastLocalPending], req)
+		}
+		return
+	}
+	switch e.st {
+	case RegPrim, NonPrim:
+		e.createAndGenerate(req)
+	default:
+		e.buffered = append(e.buffered, req)
+	}
+}
+
+// answerQuery runs a query-only request against the green state.
+func (e *Engine) answerQuery(req submitReq) {
+	r := Reply{GreenSeq: e.queue.greenCount()}
+	if res, err := e.db.QueryGreen(req.action.Query); err == nil {
+		r.Result = res
+	} else {
+		r.Err = err.Error()
+	}
+	req.ch <- r
+}
+
+// createAndGenerate assigns the next action index, writes the action to
+// the ongoing queue, and multicasts it once the record is durable (the
+// engine's one forced write per action). The forced write happens on the
+// group-commit writer so the protocol loop never blocks on the disk.
+func (e *Engine) createAndGenerate(req submitReq) {
+	e.actionIndex++
+	a := req.action
+	a.ID = types.ActionID{Server: e.id, Index: e.actionIndex}
+	a.GreenLine = e.queue.greenCount()
+	e.ongoing[a.ID] = a
+	e.metrics.Generated++
+	e.appendLog(logRecord{T: recOngoing, Action: &a})
+	e.pendingReply[a.ID] = req.ch
+	e.lastLocalPending = a.ID
+	e.syncer.After(func() { e.generate(a) })
+}
+
+// handleBuffered drains requests buffered during exchange and
+// construction (paper Handle_buff_requests): one forced write covers the
+// batch.
+func (e *Engine) handleBuffered() {
+	if len(e.buffered) == 0 {
+		return
+	}
+	batch := e.buffered
+	e.buffered = nil
+	acts := make([]types.Action, 0, len(batch))
+	for _, req := range batch {
+		e.actionIndex++
+		a := req.action
+		a.ID = types.ActionID{Server: e.id, Index: e.actionIndex}
+		a.GreenLine = e.queue.greenCount()
+		e.ongoing[a.ID] = a
+		e.appendLog(logRecord{T: recOngoing, Action: &a})
+		e.pendingReply[a.ID] = req.ch
+		e.lastLocalPending = a.ID
+		acts = append(acts, a)
+	}
+	e.syncer.After(func() {
+		for _, a := range acts {
+			e.generate(a)
+		}
+	})
+}
+
+// reply delivers the outcome to a locally pending client, if any.
+func (e *Engine) reply(id types.ActionID, r Reply) {
+	ch, ok := e.pendingReply[id]
+	if !ok {
+		return
+	}
+	delete(e.pendingReply, id)
+	ch <- r
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"evsdb/internal/storage"
+	"evsdb/internal/types"
+)
+
+// Log record types. The engine appends records continuously (page-cache
+// speed) and forces them at the paper's "** sync to disk" points plus
+// once per locally generated action.
+const (
+	recRed        = "red"        // an action entered the queue
+	recGreen      = "green"      // an action was promoted to green
+	recOngoing    = "ongoing"    // a locally generated action (paper ongoingQueue)
+	recState      = "state"      // engine metadata snapshot at a sync point
+	recCheckpoint = "checkpoint" // full base state (join bootstrap / compaction)
+)
+
+type logRecord struct {
+	T        string          `json:"t"`
+	Action   *types.Action   `json:"action,omitempty"`
+	ID       *types.ActionID `json:"id,omitempty"`
+	GreenSeq uint64          `json:"greenSeq,omitempty"`
+	State    *persistState   `json:"state,omitempty"`
+	Snap     *JoinSnapshot   `json:"snap,omitempty"`
+}
+
+// persistState is the engine metadata written at sync points.
+type persistState struct {
+	ActionIndex  uint64                    `json:"actionIndex"`
+	AttemptIndex uint64                    `json:"attemptIndex"`
+	Prim         PrimComponent             `json:"prim"`
+	Vuln         Vulnerable                `json:"vuln"`
+	Yellow       Yellow                    `json:"yellow"`
+	GreenKnown   map[types.ServerID]uint64 `json:"greenKnown"`
+	Servers      []types.ServerID          `json:"servers"`
+}
+
+// appendLog writes one record to the log tail (not yet durable).
+func (e *Engine) appendLog(rec logRecord) {
+	if e.replaying {
+		return
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		panic(fmt.Sprintf("core: marshal log record: %v", err))
+	}
+	if err := e.log.Append(buf); err != nil {
+		e.ioFailed = true
+	}
+}
+
+// syncLog forces the log (a paper "** sync to disk" point).
+func (e *Engine) syncLog() {
+	if e.replaying {
+		return
+	}
+	if err := e.log.Sync(); err != nil {
+		e.ioFailed = true
+	}
+}
+
+// persistState appends the metadata snapshot record.
+func (e *Engine) persistState() {
+	if e.replaying {
+		return
+	}
+	servers := make([]types.ServerID, 0, len(e.serverSet))
+	for s := range e.serverSet {
+		servers = append(servers, s)
+	}
+	types.SortServerIDs(servers)
+	known := make(map[types.ServerID]uint64, len(e.greenKnown))
+	for s, v := range e.greenKnown {
+		known[s] = v
+	}
+	e.appendLog(logRecord{T: recState, State: &persistState{
+		ActionIndex:  e.actionIndex,
+		AttemptIndex: e.attemptIndex,
+		Prim:         e.prim,
+		Vuln:         e.vuln,
+		Yellow:       e.yellow,
+		GreenKnown:   known,
+		Servers:      servers,
+	}})
+}
+
+// checkpoint compacts the log: the engine's full current state — a
+// snapshot plus the red zone and metadata — replaces the record history.
+// Recovery replays from the checkpoint instead of from genesis.
+func (e *Engine) checkpoint() error {
+	compactable, ok := e.log.(storage.Compactable)
+	if !ok {
+		return fmt.Errorf("core: log does not support compaction")
+	}
+	snap := e.buildJoinSnapshot()
+	records := make([][]byte, 0, e.queue.redCount()+2)
+	mustMarshal := func(rec logRecord) []byte {
+		buf, err := json.Marshal(rec)
+		if err != nil {
+			panic(fmt.Sprintf("core: marshal checkpoint record: %v", err))
+		}
+		return buf
+	}
+	records = append(records, mustMarshal(logRecord{T: recCheckpoint, Snap: snap}))
+	for _, a := range e.queue.reds() {
+		a := a
+		records = append(records, mustMarshal(logRecord{T: recRed, Action: &a}))
+	}
+	// Locally created actions that have not entered the queue yet must
+	// survive compaction: they may never have left this machine.
+	for _, a := range e.ongoing {
+		a := a
+		records = append(records, mustMarshal(logRecord{T: recOngoing, Action: &a}))
+	}
+	servers := make([]types.ServerID, 0, len(e.serverSet))
+	for s := range e.serverSet {
+		servers = append(servers, s)
+	}
+	types.SortServerIDs(servers)
+	records = append(records, mustMarshal(logRecord{T: recState, State: &persistState{
+		ActionIndex:  e.actionIndex,
+		AttemptIndex: e.attemptIndex,
+		Prim:         e.prim,
+		Vuln:         e.vuln,
+		Yellow:       e.yellow,
+		GreenKnown:   e.greenKnown,
+		Servers:      servers,
+	}}))
+	if err := compactable.Rewrite(records); err != nil {
+		e.ioFailed = true
+		return fmt.Errorf("compact log: %w", err)
+	}
+	return nil
+}
+
+// recover rebuilds engine state from the durable log (paper CodeSegment
+// A.13): replay every record, then re-mark as red any locally generated
+// action that survived in the ongoing queue but had not entered the
+// queue. The server restarts in NonPrim; its vulnerable record — if it
+// crashed while vulnerable — survives and keeps it from presenting itself
+// as knowledgeable until an exchange resolves the attempt.
+func (e *Engine) recover() error {
+	records, err := e.log.Records()
+	if err != nil {
+		return fmt.Errorf("read log: %w", err)
+	}
+	e.replaying = true
+	defer func() { e.replaying = false }()
+
+	ongoing := make(map[types.ActionID]types.Action)
+	for i, buf := range records {
+		var rec logRecord
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			return fmt.Errorf("decode log record %d: %w", i, err)
+		}
+		switch rec.T {
+		case recCheckpoint:
+			if rec.Snap != nil {
+				if err := e.restoreSnapshot(rec.Snap); err != nil {
+					return fmt.Errorf("record %d: %w", i, err)
+				}
+			}
+		case recRed:
+			if rec.Action != nil {
+				a := *rec.Action
+				if e.markRed(a, false) {
+					e.replayTrackRed(a)
+				}
+			}
+		case recGreen:
+			if rec.ID != nil {
+				if a, ok := e.queue.get(*rec.ID); ok && !e.queue.isGreen(a.ID) {
+					e.applyGreen(a)
+				}
+			}
+		case recOngoing:
+			if rec.Action != nil {
+				ongoing[rec.Action.ID] = *rec.Action
+				e.ongoing[rec.Action.ID] = *rec.Action
+				if rec.Action.ID.Index > e.actionIndex {
+					e.actionIndex = rec.Action.ID.Index
+				}
+			}
+		case recState:
+			if rec.State != nil {
+				e.restoreState(rec.State)
+			}
+		}
+	}
+	// Ongoing actions that never reached the queue become red again; the
+	// next exchange propagates them (they are never lost, paper § A.13).
+	for idx := e.redCut[e.id] + 1; ; idx++ {
+		a, ok := ongoing[types.ActionID{Server: e.id, Index: idx}]
+		if !ok {
+			break
+		}
+		e.markRed(a, false)
+	}
+	e.st = NonPrim
+	e.rebuildDirtyOverlay()
+	return nil
+}
+
+// replayTrackRed redoes the eager application of relaxed-semantics
+// actions during replay (their green records will skip re-application).
+func (e *Engine) replayTrackRed(a types.Action) {
+	if a.Type != types.ActionUpdate && a.Type != types.ActionQuery {
+		return
+	}
+	if a.Semantics == types.SemCommutative || a.Semantics == types.SemTimestamp {
+		if len(a.Update) > 0 {
+			_ = e.db.Apply(a.Update)
+		}
+		e.appliedRed[a.ID] = true
+	}
+}
+
+// restoreState loads a metadata snapshot record.
+func (e *Engine) restoreState(ps *persistState) {
+	if ps.ActionIndex > e.actionIndex {
+		e.actionIndex = ps.ActionIndex
+	}
+	e.attemptIndex = ps.AttemptIndex
+	e.prim = ps.Prim
+	e.vuln = ps.Vuln
+	e.yellow = ps.Yellow
+	for s, v := range ps.GreenKnown {
+		if v > e.greenKnown[s] {
+			e.greenKnown[s] = v
+		}
+	}
+	if len(ps.Servers) > 0 {
+		e.serverSet = make(map[types.ServerID]bool, len(ps.Servers))
+		for _, s := range ps.Servers {
+			e.serverSet[s] = true
+		}
+	}
+}

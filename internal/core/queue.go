@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"evsdb/internal/types"
+)
+
+// actionsQueue is the ordered list of actions a server knows about
+// (paper, Appendix A "actionsQueue"): a prefix of green actions in their
+// global order, followed by red actions in local (component delivery)
+// order. White actions — green everywhere — are discarded from memory;
+// base counts how many have been discarded so global green sequence
+// numbers stay stable.
+type actionsQueue struct {
+	base   uint64 // discarded white actions; global seq of list[0] is base+1
+	list   []types.Action
+	greens int // green entries at the head of list
+	pos    map[types.ActionID]int
+}
+
+func newActionsQueue() *actionsQueue {
+	return &actionsQueue{pos: make(map[types.ActionID]int)}
+}
+
+// greenCount returns the total number of actions ever marked green here.
+func (q *actionsQueue) greenCount() uint64 { return q.base + uint64(q.greens) }
+
+// redCount returns the number of red (and yellow) actions held.
+func (q *actionsQueue) redCount() int { return len(q.list) - q.greens }
+
+// has reports whether the action is present (green or red). Discarded
+// white actions report false; callers guard with redCut.
+func (q *actionsQueue) has(id types.ActionID) bool {
+	_, ok := q.pos[id]
+	return ok
+}
+
+// isGreen reports whether the action is in the green prefix.
+func (q *actionsQueue) isGreen(id types.ActionID) bool {
+	i, ok := q.pos[id]
+	return ok && i < q.greens
+}
+
+// appendRed places a new action at the tail (red zone).
+func (q *actionsQueue) appendRed(a types.Action) {
+	q.pos[a.ID] = len(q.list)
+	q.list = append(q.list, a)
+}
+
+// get returns the action by id.
+func (q *actionsQueue) get(id types.ActionID) (types.Action, bool) {
+	i, ok := q.pos[id]
+	if !ok {
+		return types.Action{}, false
+	}
+	return q.list[i], true
+}
+
+// promote moves the action just on top of the last green action (paper
+// MarkGreen) and returns its global green sequence number. Promoting an
+// already-green action returns its existing position.
+func (q *actionsQueue) promote(id types.ActionID) (uint64, error) {
+	i, ok := q.pos[id]
+	if !ok {
+		return 0, fmt.Errorf("promote %s: not in queue", id)
+	}
+	if i < q.greens {
+		return q.base + uint64(i) + 1, nil
+	}
+	a := q.list[i]
+	// Shift the red prefix [greens, i) right by one, preserving the
+	// relative red order of the others.
+	copy(q.list[q.greens+1:i+1], q.list[q.greens:i])
+	q.list[q.greens] = a
+	for j := q.greens + 1; j <= i; j++ {
+		q.pos[q.list[j].ID] = j
+	}
+	q.pos[id] = q.greens
+	q.greens++
+	return q.base + uint64(q.greens), nil
+}
+
+// greenAt returns the green action with global sequence seq, if held.
+func (q *actionsQueue) greenAt(seq uint64) (types.Action, bool) {
+	if seq <= q.base || seq > q.greenCount() {
+		return types.Action{}, false
+	}
+	return q.list[seq-q.base-1], true
+}
+
+// reds returns the red-zone actions in local order (shared backing array;
+// callers must not mutate).
+func (q *actionsQueue) reds() []types.Action {
+	return q.list[q.greens:]
+}
+
+// redsCanonical returns the red actions sorted by action id — the
+// deterministic order used when a new primary component is installed
+// (paper CodeSegment A.10, OR-2).
+func (q *actionsQueue) redsCanonical() []types.Action {
+	out := append([]types.Action(nil), q.list[q.greens:]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// discardWhite drops green actions with global sequence <= upto. They are
+// known green at every server and will never be retransmitted.
+func (q *actionsQueue) discardWhite(upto uint64) {
+	if upto <= q.base {
+		return
+	}
+	if max := q.greenCount(); upto > max {
+		upto = max
+	}
+	drop := int(upto - q.base)
+	for i := 0; i < drop; i++ {
+		delete(q.pos, q.list[i].ID)
+	}
+	q.list = append([]types.Action(nil), q.list[drop:]...)
+	q.greens -= drop
+	q.base = upto
+	for i, a := range q.list {
+		q.pos[a.ID] = i
+	}
+}

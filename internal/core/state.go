@@ -1,0 +1,423 @@
+package core
+
+import (
+	"evsdb/internal/evs"
+	"evsdb/internal/types"
+)
+
+// onAction handles an action delivery per the current state (paper
+// CodeSegments A.1–A.3, A.4, A.6, A.11, A.12).
+func (e *Engine) onAction(a types.Action) {
+	switch e.st {
+	case NonPrim:
+		e.markRed(a, true)
+	case RegPrim:
+		e.markGreen(a)
+		if a.GreenLine > e.greenKnown[a.ID.Server] {
+			e.greenKnown[a.ID.Server] = a.GreenLine
+		}
+		e.collectWhite()
+	case TransPrim:
+		e.markYellow(a)
+	case ExchangeStates, ExchangeActions:
+		// Live actions sent just before the view change surface here.
+		e.markRed(a, true)
+		if e.st == ExchangeActions {
+			e.maybeEndRetrans()
+		}
+	case Construct, No:
+		// Total order makes this consistent: either every server sees the
+		// action before its last CPC (red everywhere, greened canonically
+		// on install) or after (green in delivery order everywhere).
+		e.markRed(a, false)
+	case Un:
+		// Paper transition 1b: some server installed the primary and
+		// already generated a new action. Act as if installing, mark the
+		// action yellow, and join that server in TransPrim.
+		e.install()
+		e.markYellow(a)
+		e.st = TransPrim
+	}
+}
+
+// onTransConf handles a transitional configuration notification.
+func (e *Engine) onTransConf(types.Configuration) {
+	switch e.st {
+	case RegPrim:
+		e.st = TransPrim
+	case NonPrim:
+		// Ignored (paper A.1): red actions keep accumulating.
+	case ExchangeStates, ExchangeActions:
+		e.st = NonPrim
+	case Construct:
+		e.st = No
+	}
+}
+
+// onRegConf handles a regular configuration notification.
+func (e *Engine) onRegConf(conf types.Configuration) {
+	e.conf = conf.Clone()
+	switch e.st {
+	case TransPrim:
+		// The primary was installed and ran; its outcome is fully known
+		// and synced by shiftToExchangeStates below.
+		e.vuln.Status = false
+		e.yellow.Status = true
+	case No:
+		// No server can have received all CPC messages as safe in the old
+		// configuration (§ 4.1 case 3 for the last CPC), so nobody
+		// installed: the attempt is void.
+		e.vuln.Status = false
+	case Un:
+		// The dilemma stands: stay vulnerable (paper transition "?").
+	}
+	e.shiftToExchangeStates()
+}
+
+// onStateMsg handles a state message during ExchangeStates (paper A.4).
+func (e *Engine) onStateMsg(s stateMsg) {
+	if e.st != ExchangeStates || s.Conf != e.conf.ID {
+		return
+	}
+	e.stateMsgs[s.Server] = s
+	for _, m := range e.conf.Members {
+		if _, ok := e.stateMsgs[m]; !ok {
+			return
+		}
+	}
+	// All state messages delivered: compute the retransmission plan, send
+	// this server's share, and move to ExchangeActions.
+	e.plan = e.computeRetransPlan()
+	e.retransmitShare()
+	e.st = ExchangeActions
+	e.maybeEndRetrans()
+}
+
+// onCPC handles a Create Primary Component message (paper A.9, A.11).
+func (e *Engine) onCPC(c cpcMsg) {
+	if c.Conf != e.conf.ID {
+		return
+	}
+	switch e.st {
+	case ExchangeStates, ExchangeActions:
+		// A faster member can finish its retransmissions and send its CPC
+		// before this member finishes receiving; total order may deliver
+		// that CPC while we are still exchanging. Buffer it — it counts
+		// once we reach Construct. (The paper serializes retransmission
+		// turns to exclude this; buffering is the equivalent.)
+		e.cpcFrom[c.Server] = true
+	case Construct:
+		e.cpcFrom[c.Server] = true
+		if !e.allCPC() {
+			return
+		}
+		// Everyone's CPC arrived as safe in the regular configuration:
+		// install. All members reached the same green line.
+		for _, m := range e.conf.Members {
+			if e.greenKnown[m] < e.queue.greenCount() {
+				e.greenKnown[m] = e.queue.greenCount()
+			}
+		}
+		e.install()
+		e.st = RegPrim
+		e.handleBuffered()
+		e.processPendingJoins()
+	case No:
+		e.cpcFrom[c.Server] = true
+		if e.allCPC() {
+			// All CPCs arrived, but some only in the transitional
+			// configuration: a server may or may not have installed.
+			e.st = Un
+		}
+	}
+}
+
+func (e *Engine) allCPC() bool {
+	for _, m := range e.conf.Members {
+		if !e.cpcFrom[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// shiftToExchangeStates implements the paper's Shift_to_exchange_states:
+// force state to disk, clear collected state messages, generate this
+// server's state message, and enter ExchangeStates.
+func (e *Engine) shiftToExchangeStates() {
+	e.persistState()
+	e.syncLog()
+	e.stateMsgs = make(map[types.ServerID]stateMsg)
+	e.cpcFrom = make(map[types.ServerID]bool)
+	e.plan = nil
+	e.pendingGreen = make(map[uint64]types.Action)
+	s := e.buildStateMsg()
+	_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emState, State: &s}), evs.Safe)
+	e.metrics.Exchanges++
+	e.st = ExchangeStates
+}
+
+func (e *Engine) buildStateMsg() stateMsg {
+	redCut := make(map[types.ServerID]uint64, len(e.redCut))
+	for s, v := range e.redCut {
+		redCut[s] = v
+	}
+	known := make(map[types.ServerID]uint64, len(e.greenKnown))
+	for s, v := range e.greenKnown {
+		known[s] = v
+	}
+	return stateMsg{
+		Server:        e.id,
+		Conf:          e.conf.ID,
+		RedCut:        redCut,
+		GreenCount:    e.queue.greenCount(),
+		BaseGreen:     e.queue.base,
+		GreenSeqKnown: known,
+		AttemptIndex:  e.attemptIndex,
+		Prim:          e.prim,
+		Vuln:          e.vuln,
+		Yellow:        e.yellow,
+	}
+}
+
+// endOfRetrans implements the paper's End_of_retrans: incorporate green
+// lines, compute knowledge, and either start constructing the primary
+// component or settle into NonPrim.
+func (e *Engine) endOfRetrans() {
+	for _, s := range e.stateMsgs {
+		if s.GreenCount > e.greenKnown[s.Server] {
+			e.greenKnown[s.Server] = s.GreenCount
+		}
+		for srv, v := range s.GreenSeqKnown {
+			if v > e.greenKnown[srv] {
+				e.greenKnown[srv] = v
+			}
+		}
+	}
+	e.computeKnowledge()
+	if e.isQuorum() {
+		e.attemptIndex++
+		e.vuln = Vulnerable{
+			Status:       true,
+			PrimIndex:    e.prim.PrimIndex,
+			AttemptIndex: e.attemptIndex,
+			Set:          append([]types.ServerID(nil), e.conf.Members...),
+			Bits:         map[types.ServerID]bool{e.id: true},
+		}
+		e.persistState()
+		e.syncLog()
+		c := cpcMsg{Server: e.id, Conf: e.conf.ID}
+		_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emCPC, CPC: &c}), evs.Safe)
+		e.st = Construct
+		return
+	}
+	e.persistState()
+	e.syncLog()
+	e.st = NonPrim
+	e.rebuildDirtyOverlay()
+	e.handleBuffered()
+	e.processPendingJoins()
+	e.collectWhite()
+}
+
+// install implements the paper's Install procedure: yellow actions turn
+// green first (their order was fixed by the previous primary), then the
+// remaining red actions in canonical action-id order; the primary
+// component counters advance; everything is forced to disk.
+func (e *Engine) install() {
+	if e.yellow.Status {
+		for _, id := range e.yellow.Set {
+			if a, ok := e.queue.get(id); ok && !e.queue.isGreen(id) {
+				e.applyGreen(a) // OR-1.2
+			}
+		}
+	}
+	e.metrics.Installs++
+	e.yellow = Yellow{}
+	e.prim.PrimIndex++
+	e.prim.AttemptIndex = e.attemptIndex
+	e.prim.Servers = append([]types.ServerID(nil), e.vuln.Set...)
+	e.attemptIndex = 0
+	for _, a := range e.queue.redsCanonical() {
+		e.applyGreen(a) // OR-2
+	}
+	e.db.ResetDirty()
+	e.persistState()
+	e.syncLog()
+	e.collectWhite()
+}
+
+// markRed implements the paper's MarkRed: accept the action if it extends
+// the creator's FIFO cut, append it to the red zone, and (optionally)
+// track it for dirty reads or apply it eagerly under relaxed semantics.
+func (e *Engine) markRed(a types.Action, track bool) bool {
+	if e.redCut[a.ID.Server] != a.ID.Index-1 {
+		return false // duplicate or out-of-order retransmission
+	}
+	e.redCut[a.ID.Server] = a.ID.Index
+	e.queue.appendRed(a)
+	e.appendLog(logRecord{T: recRed, Action: &a})
+	if a.ID.Server == e.id {
+		// Generated here: the action entered the queue, so the ongoing
+		// copy has served its purpose (paper A.14 deletes it).
+		delete(e.ongoing, a.ID)
+	}
+	if track {
+		e.trackRed(a)
+	}
+	return true
+}
+
+// trackRed handles a red action that may stay red for a while: relaxed-
+// semantics actions apply eagerly; strict updates feed the dirty overlay.
+func (e *Engine) trackRed(a types.Action) {
+	if a.Type != types.ActionUpdate && a.Type != types.ActionQuery {
+		return
+	}
+	switch a.Semantics {
+	case types.SemCommutative, types.SemTimestamp:
+		var errStr string
+		if len(a.Update) > 0 {
+			if err := e.db.Apply(a.Update); err != nil {
+				errStr = err.Error()
+			}
+		}
+		e.appliedRed[a.ID] = true
+		// Relaxed clients get their answer immediately (paper § 6).
+		r := Reply{Err: errStr}
+		if errStr == "" && len(a.Query) > 0 {
+			if res, err := e.db.QueryGreen(a.Query); err == nil {
+				r.Result = res
+			} else {
+				r.Err = err.Error()
+			}
+		}
+		e.reply(a.ID, r)
+	default:
+		if len(a.Update) > 0 {
+			_ = e.db.ApplyDirty(a.Update)
+		}
+	}
+}
+
+// markYellow implements the paper's MarkYellow.
+func (e *Engine) markYellow(a types.Action) {
+	if !e.markRed(a, false) {
+		if !e.queue.has(a.ID) {
+			return
+		}
+	}
+	if e.queue.isGreen(a.ID) {
+		return
+	}
+	for _, id := range e.yellow.Set {
+		if id == a.ID {
+			return
+		}
+	}
+	e.yellow.Set = append(e.yellow.Set, a.ID)
+}
+
+// markGreen implements the paper's MarkGreen for live delivery in the
+// primary component: the action goes just on top of the last green
+// action and is applied.
+func (e *Engine) markGreen(a types.Action) {
+	if !e.markRed(a, false) && !e.queue.has(a.ID) {
+		return // stale duplicate below the red cut with no queue entry
+	}
+	if e.queue.isGreen(a.ID) {
+		return
+	}
+	e.applyGreen(a)
+}
+
+// applyGreen promotes an action to green, applies it to the database,
+// logs it, answers the local client, and processes reconfiguration
+// actions (paper MarkGreen + CodeSegment 5.1).
+func (e *Engine) applyGreen(a types.Action) {
+	seq, err := e.queue.promote(a.ID)
+	if err != nil {
+		return
+	}
+	e.metrics.Applied++
+	e.appendLog(logRecord{T: recGreen, ID: &a.ID, GreenSeq: seq})
+	e.history = append(e.history, a.ID)
+	e.greenKnown[e.id] = e.queue.greenCount()
+	if a.ID.Index > e.orderedIdx[a.ID.Server] {
+		e.orderedIdx[a.ID.Server] = a.ID.Index
+	}
+
+	switch a.Type {
+	case types.ActionJoin:
+		e.applyJoin(a, seq)
+		return
+	case types.ActionLeave:
+		e.applyLeave(a)
+		return
+	}
+
+	if e.appliedRed[a.ID] {
+		// Relaxed action already applied (and answered) while red.
+		delete(e.appliedRed, a.ID)
+		return
+	}
+	var errStr string
+	if len(a.Update) > 0 {
+		if err := e.db.Apply(a.Update); err != nil {
+			errStr = err.Error()
+		}
+	}
+	r := Reply{GreenSeq: seq, Err: errStr}
+	if errStr == "" && len(a.Query) > 0 {
+		if res, qerr := e.db.QueryGreen(a.Query); qerr == nil {
+			r.Result = res
+		} else {
+			r.Err = qerr.Error()
+		}
+	}
+	e.reply(a.ID, r)
+	e.releaseQueries(a.ID)
+}
+
+// releaseQueries answers fast-path queries that were waiting for a local
+// action to apply, and clears the pending marker when the last local
+// action has landed.
+func (e *Engine) releaseQueries(id types.ActionID) {
+	if id.Server != e.id {
+		return
+	}
+	if waiting, ok := e.queryWait[id]; ok {
+		delete(e.queryWait, id)
+		for _, req := range waiting {
+			e.answerQuery(req)
+		}
+	}
+	if e.lastLocalPending == id {
+		e.lastLocalPending = types.ActionID{}
+	}
+}
+
+// rebuildDirtyOverlay recomputes the dirty view from the current red zone
+// (after exchanges change the red set).
+func (e *Engine) rebuildDirtyOverlay() {
+	e.db.ResetDirty()
+	for _, a := range e.queue.reds() {
+		if a.Type == types.ActionUpdate && a.Semantics == types.SemStrict && len(a.Update) > 0 {
+			if !e.appliedRed[a.ID] {
+				_ = e.db.ApplyDirty(a.Update)
+			}
+		}
+	}
+}
+
+// collectWhite discards actions known green at every server in the
+// replica set (paper: white actions can be discarded).
+func (e *Engine) collectWhite() {
+	min := e.queue.greenCount()
+	for s := range e.serverSet {
+		if v := e.greenKnown[s]; v < min {
+			min = v
+		}
+	}
+	e.queue.discardWhite(min)
+}

@@ -1,0 +1,312 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func apply(t *testing.T, d *Database, ops ...Op) {
+	t.Helper()
+	if err := d.Apply(EncodeUpdate(ops...)); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+}
+
+func get(t *testing.T, d *Database, key string) (string, bool) {
+	t.Helper()
+	res, err := d.QueryGreen(Get(key))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	return res.Value, res.Found
+}
+
+func TestSetDelGet(t *testing.T) {
+	d := New()
+	apply(t, d, Set("a", "1"), Set("b", "2"))
+	if v, ok := get(t, d, "a"); !ok || v != "1" {
+		t.Fatalf("a = %q %v", v, ok)
+	}
+	apply(t, d, Del("a"))
+	if _, ok := get(t, d, "a"); ok {
+		t.Fatal("a survived delete")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	d := New()
+	apply(t, d, Add("n", 5))
+	apply(t, d, Add("n", -2))
+	apply(t, d, Add("n", 10))
+	if v, _ := get(t, d, "n"); v != "13" {
+		t.Fatalf("n = %q", v)
+	}
+}
+
+// TestAddCommutes is the property that justifies SemCommutative: any
+// permutation of add operations yields the same final state.
+func TestAddCommutes(t *testing.T) {
+	prop := func(deltas []int16, seed int64) bool {
+		d1, d2 := New(), New()
+		for _, x := range deltas {
+			if err := d1.Apply(EncodeUpdate(Add("k", int64(x)))); err != nil {
+				return false
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(deltas))
+		for _, i := range perm {
+			if err := d2.Apply(EncodeUpdate(Add("k", int64(deltas[i])))); err != nil {
+				return false
+			}
+		}
+		v1, _ := d1.QueryGreen(Get("k"))
+		v2, _ := d2.QueryGreen(Get("k"))
+		return v1.Value == v2.Value
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTSSetConverges: any permutation of timestamped writes converges to
+// the highest timestamp (paper § 6 timestamp semantics).
+func TestTSSetConverges(t *testing.T) {
+	prop := func(vals []uint8, seed int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		write := func(d *Database, order []int) bool {
+			for _, i := range order {
+				op := TSSet("k", fmt.Sprintf("v%d", vals[i]), int64(vals[i]))
+				if err := d.Apply(EncodeUpdate(op)); err != nil {
+					return false
+				}
+			}
+			return true
+		}
+		fwd := make([]int, len(vals))
+		for i := range fwd {
+			fwd[i] = i
+		}
+		d1, d2 := New(), New()
+		if !write(d1, fwd) {
+			return false
+		}
+		if !write(d2, rand.New(rand.NewSource(seed)).Perm(len(vals))) {
+			return false
+		}
+		v1, _ := d1.QueryGreen(Get("k"))
+		v2, _ := d2.QueryGreen(Get("k"))
+		return v1.Value == v2.Value
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSSetIdempotent(t *testing.T) {
+	d := New()
+	apply(t, d, TSSet("k", "new", 10))
+	apply(t, d, TSSet("k", "old", 5))  // lower timestamp loses
+	apply(t, d, TSSet("k", "new", 10)) // replay is a no-op
+	if v, _ := get(t, d, "k"); v != "new" {
+		t.Fatalf("k = %q", v)
+	}
+}
+
+func TestCASGuard(t *testing.T) {
+	d := New()
+	apply(t, d, Set("bal", "100"))
+	err := d.Apply(EncodeUpdate(CAS(map[string]string{"bal": "50"}, Set("bal", "0"))))
+	if err == nil {
+		t.Fatal("mismatched CAS applied")
+	}
+	if v, _ := get(t, d, "bal"); v != "100" {
+		t.Fatalf("bal changed on failed CAS: %q", v)
+	}
+	apply(t, d, CAS(map[string]string{"bal": "100"}, Set("bal", "0")))
+	if v, _ := get(t, d, "bal"); v != "0" {
+		t.Fatalf("bal = %q after CAS", v)
+	}
+}
+
+func TestCASVersionStillAdvancesOnAbort(t *testing.T) {
+	// Deterministic aborts must advance the version identically at every
+	// replica so the green state stays aligned with the global order.
+	d := New()
+	before := d.Version()
+	_ = d.Apply(EncodeUpdate(CAS(map[string]string{"missing": "x"}, Set("k", "v"))))
+	if d.Version() != before+1 {
+		t.Fatalf("version did not advance on abort: %d -> %d", before, d.Version())
+	}
+}
+
+func TestProcRegisteredAndUnregistered(t *testing.T) {
+	d := New()
+	d.RegisterProc("incr-all", func(tx *Tx, _ []byte) error {
+		v, _ := tx.Get("x")
+		n, _ := strconv.Atoi(v)
+		tx.Set("x", strconv.Itoa(n+1))
+		return nil
+	})
+	apply(t, d, Proc("incr-all", nil))
+	apply(t, d, Proc("incr-all", nil))
+	if v, _ := get(t, d, "x"); v != "2" {
+		t.Fatalf("x = %q", v)
+	}
+	if err := d.Apply(EncodeUpdate(Proc("nope", nil))); err == nil {
+		t.Fatal("unregistered proc applied")
+	}
+}
+
+func TestProcTxReadsOwnWritesAndDeletes(t *testing.T) {
+	d := New()
+	d.RegisterProc("rw", func(tx *Tx, _ []byte) error {
+		tx.Set("a", "1")
+		if v, ok := tx.Get("a"); !ok || v != "1" {
+			return errors.New("did not read own write")
+		}
+		tx.Del("a")
+		if _, ok := tx.Get("a"); ok {
+			return errors.New("read deleted key")
+		}
+		tx.Set("b", "kept")
+		return nil
+	})
+	apply(t, d, Proc("rw", nil))
+	if _, ok := get(t, d, "a"); ok {
+		t.Fatal("a leaked")
+	}
+	if v, _ := get(t, d, "b"); v != "kept" {
+		t.Fatalf("b = %q", v)
+	}
+}
+
+func TestPrefixQuery(t *testing.T) {
+	d := New()
+	apply(t, d, Set("user/1", "a"), Set("user/2", "b"), Set("other", "c"))
+	res, err := d.QueryGreen(Prefix("user/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 2 || res.Values["user/1"] != "a" {
+		t.Fatalf("prefix result: %+v", res)
+	}
+}
+
+func TestDirtyOverlay(t *testing.T) {
+	d := New()
+	apply(t, d, Set("k", "green"))
+
+	if err := d.ApplyDirty(EncodeUpdate(Set("k", "red"), Set("extra", "x"), Del("gone"))); err != nil {
+		t.Fatal(err)
+	}
+	green, _ := d.QueryGreen(Get("k"))
+	if green.Value != "green" || green.Dirty {
+		t.Fatalf("green read polluted: %+v", green)
+	}
+	dirty, _ := d.QueryDirty(Get("k"))
+	if dirty.Value != "red" || !dirty.Dirty {
+		t.Fatalf("dirty read wrong: %+v", dirty)
+	}
+	if res, _ := d.QueryDirty(Get("extra")); res.Value != "x" {
+		t.Fatalf("dirty extra: %+v", res)
+	}
+
+	d.ResetDirty()
+	after, _ := d.QueryDirty(Get("k"))
+	if after.Value != "green" || after.Dirty {
+		t.Fatalf("overlay survived reset: %+v", after)
+	}
+}
+
+func TestDirtyDeleteShadowsGreen(t *testing.T) {
+	d := New()
+	apply(t, d, Set("k", "v"))
+	if err := d.ApplyDirty(EncodeUpdate(Del("k"))); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := d.QueryDirty(Get("k"))
+	if res.Found {
+		t.Fatalf("dirty read found deleted key: %+v", res)
+	}
+	if res, _ := d.QueryDirty(Prefix("k")); res.Found {
+		t.Fatalf("dirty prefix found deleted key: %+v", res)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	d := New()
+	apply(t, d, Set("a", "1"), TSSet("t", "v", 9))
+	snap := d.Snapshot()
+
+	d2 := New()
+	if err := d2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := get(t, d2, "a"); v != "1" {
+		t.Fatalf("a = %q after restore", v)
+	}
+	if d2.Version() != d.Version() {
+		t.Fatalf("version mismatch: %d vs %d", d2.Version(), d.Version())
+	}
+	// Timestamps travel: a stale tsset after restore must lose.
+	apply(t, d2, TSSet("t", "stale", 5))
+	if v, _ := get(t, d2, "t"); v != "v" {
+		t.Fatalf("t = %q", v)
+	}
+}
+
+func TestApplyDeterminism(t *testing.T) {
+	// The same update sequence yields byte-identical snapshots —
+	// the foundation of the state machine approach.
+	ops := [][]Op{
+		{Set("a", "1")},
+		{Add("n", 3), Set("b", "x")},
+		{TSSet("t", "new", 2)},
+		{CAS(map[string]string{"a": "1"}, Del("b"))},
+	}
+	d1, d2 := New(), New()
+	for _, o := range ops {
+		_ = d1.Apply(EncodeUpdate(o...))
+		_ = d2.Apply(EncodeUpdate(o...))
+	}
+	if string(d1.Snapshot()) != string(d2.Snapshot()) {
+		t.Fatal("same inputs produced different snapshots")
+	}
+}
+
+func TestBadInputsAbortCleanly(t *testing.T) {
+	d := New()
+	if err := d.Apply([]byte("not json")); err == nil {
+		t.Fatal("garbage update applied")
+	}
+	if err := d.Apply(EncodeUpdate(Op{Kind: "wat"})); err == nil {
+		t.Fatal("unknown op applied")
+	}
+	if err := d.Apply(EncodeUpdate(Op{Kind: "add", Key: "k", Value: "NaN"})); err == nil {
+		t.Fatal("bad add delta applied")
+	}
+	if _, err := d.QueryGreen([]byte("junk")); err == nil {
+		t.Fatal("garbage query answered")
+	}
+	if _, err := d.QueryGreen(EncodeQuery(Query{Kind: "wat"})); err == nil {
+		t.Fatal("unknown query answered")
+	}
+}
+
+func TestNoopCarriesNoEffect(t *testing.T) {
+	d := New()
+	apply(t, d, Noop("padding-padding"))
+	if d.Len() != 0 {
+		t.Fatalf("noop mutated state: %d keys", d.Len())
+	}
+}

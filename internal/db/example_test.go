@@ -1,0 +1,73 @@
+package db_test
+
+import (
+	"fmt"
+
+	"evsdb/internal/db"
+)
+
+func ExampleDatabase() {
+	d := db.New()
+	_ = d.Apply(db.EncodeUpdate(db.Set("city", "baltimore")))
+	_ = d.Apply(db.EncodeUpdate(db.Add("population", 5)))
+
+	res, _ := d.QueryGreen(db.Get("city"))
+	fmt.Println(res.Value)
+	res, _ = d.QueryGreen(db.Get("population"))
+	fmt.Println(res.Value)
+	// Output:
+	// baltimore
+	// 5
+}
+
+func ExampleCAS() {
+	d := db.New()
+	_ = d.Apply(db.EncodeUpdate(db.Set("balance", "100")))
+
+	// A guarded update aborts deterministically when the expectation no
+	// longer holds — the § 6 interactive-transaction pattern.
+	err := d.Apply(db.EncodeUpdate(
+		db.CAS(map[string]string{"balance": "90"}, db.Set("balance", "0"))))
+	fmt.Println(err != nil)
+
+	err = d.Apply(db.EncodeUpdate(
+		db.CAS(map[string]string{"balance": "100"}, db.Set("balance", "75"))))
+	fmt.Println(err)
+	res, _ := d.QueryGreen(db.Get("balance"))
+	fmt.Println(res.Value)
+	// Output:
+	// true
+	// <nil>
+	// 75
+}
+
+func ExampleDatabase_ApplyDirty() {
+	d := db.New()
+	_ = d.Apply(db.EncodeUpdate(db.Set("k", "committed")))
+
+	// Red (locally ordered, not yet global) effects live in an overlay.
+	_ = d.ApplyDirty(db.EncodeUpdate(db.Set("k", "tentative")))
+
+	green, _ := d.QueryGreen(db.Get("k"))
+	dirty, _ := d.QueryDirty(db.Get("k"))
+	fmt.Println(green.Value, dirty.Value, dirty.Dirty)
+	// Output: committed tentative true
+}
+
+func ExampleDatabase_RegisterProc() {
+	d := db.New()
+	d.RegisterProc("rename", func(tx *db.Tx, args []byte) error {
+		v, ok := tx.Get("old")
+		if !ok {
+			return fmt.Errorf("nothing to rename")
+		}
+		tx.Del("old")
+		tx.Set(string(args), v)
+		return nil
+	})
+	_ = d.Apply(db.EncodeUpdate(db.Set("old", "payload")))
+	_ = d.Apply(db.EncodeUpdate(db.Proc("rename", []byte("new"))))
+	res, _ := d.QueryGreen(db.Get("new"))
+	fmt.Println(res.Value)
+	// Output: payload
+}

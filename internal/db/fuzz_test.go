@@ -1,0 +1,53 @@
+package db
+
+import (
+	"testing"
+)
+
+// FuzzApply throws arbitrary bytes at the update decoder and applier: a
+// replica must survive any garbage a buggy client encodes (errors are
+// deterministic aborts, never panics), and determinism must hold — two
+// databases fed the same bytes end in the same state.
+func FuzzApply(f *testing.F) {
+	f.Add([]byte(`{"ops":[{"kind":"set","key":"a","value":"1"}]}`))
+	f.Add([]byte(`{"ops":[{"kind":"add","key":"n","value":"5"}]}`))
+	f.Add([]byte(`{"ops":[{"kind":"cas","expect":{"a":"1"},"ops":[{"kind":"del","key":"a"}]}]}`))
+	f.Add([]byte(`{"ops":[{"kind":"tsset","key":"t","value":"x","ts":9}]}`))
+	f.Add([]byte(`{"ops":[{"kind":"noop","value":"pad"}]}`))
+	f.Add([]byte(`not even json`))
+
+	f.Fuzz(func(t *testing.T, update []byte) {
+		d1, d2 := New(), New()
+		err1 := d1.Apply(update)
+		err2 := d2.Apply(update)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic outcome: %v vs %v", err1, err2)
+		}
+		if string(d1.Snapshot()) != string(d2.Snapshot()) {
+			t.Fatal("same update produced different states")
+		}
+		if d1.Version() != 1 {
+			t.Fatalf("version %d after one apply", d1.Version())
+		}
+	})
+}
+
+// FuzzQuery: arbitrary query bytes never panic and answer consistently
+// between the green and dirty paths on a clean database.
+func FuzzQuery(f *testing.F) {
+	f.Add([]byte(`{"kind":"get","key":"a"}`))
+	f.Add([]byte(`{"kind":"prefix","key":"a"}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, query []byte) {
+		d := New()
+		_ = d.Apply(EncodeUpdate(Set("a", "1")))
+		g, gerr := d.QueryGreen(query)
+		dr, derr := d.QueryDirty(query)
+		if (gerr == nil) != (derr == nil) {
+			t.Fatalf("green/dirty disagree on validity: %v vs %v", gerr, derr)
+		}
+		if gerr == nil && g.Value != dr.Value {
+			t.Fatalf("green %q vs dirty %q on clean db", g.Value, dr.Value)
+		}
+	})
+}

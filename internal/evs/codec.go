@@ -1,0 +1,278 @@
+package evs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"evsdb/internal/types"
+)
+
+// Wire format: every datagram starts with one kind byte. Hot-path
+// messages (data, order, ack, stable, nack) use a hand-rolled binary
+// layout — on a single-core host the JSON codec dominated per-hop
+// latency. Membership messages (propose, flush*) are rare and stay JSON,
+// carried after the kind byte.
+
+// putStr appends a length-prefixed string.
+func putStr(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func getStr(buf []byte) (string, []byte, bool) {
+	if len(buf) < 2 {
+		return "", nil, false
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n {
+		return "", nil, false
+	}
+	return string(buf[:n]), buf[n:], true
+}
+
+func putConf(buf []byte, c types.ConfID) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, c.Counter)
+	return putStr(buf, string(c.Proposer))
+}
+
+func getConf(buf []byte) (types.ConfID, []byte, bool) {
+	if len(buf) < 8 {
+		return types.ConfID{}, nil, false
+	}
+	c := types.ConfID{Counter: binary.LittleEndian.Uint64(buf)}
+	s, rest, ok := getStr(buf[8:])
+	if !ok {
+		return types.ConfID{}, nil, false
+	}
+	c.Proposer = types.ServerID(s)
+	return c, rest, true
+}
+
+func encodeWire(m wireMsg) []byte {
+	switch m.Kind {
+	case kindData:
+		d := m.Data
+		buf := make([]byte, 0, 32+len(d.Payload)+len(d.Sender)+len(d.Conf.Proposer))
+		buf = append(buf, byte(kindData))
+		buf = putConf(buf, d.Conf)
+		buf = putStr(buf, string(d.Sender))
+		buf = binary.LittleEndian.AppendUint64(buf, d.LSeq)
+		buf = append(buf, byte(d.Service))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Payload)))
+		return append(buf, d.Payload...)
+	case kindOrder:
+		o := m.Order
+		buf := make([]byte, 0, 16+24*len(o.Entries))
+		buf = append(buf, byte(kindOrder))
+		buf = putConf(buf, o.Conf)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.Entries)))
+		for _, e := range o.Entries {
+			buf = binary.LittleEndian.AppendUint64(buf, e.GSeq)
+			buf = putStr(buf, string(e.Sender))
+			buf = binary.LittleEndian.AppendUint64(buf, e.LSeq)
+		}
+		return buf
+	case kindAck:
+		a := m.Ack
+		buf := make([]byte, 0, 40)
+		buf = append(buf, byte(kindAck))
+		buf = putConf(buf, a.Conf)
+		buf = binary.LittleEndian.AppendUint64(buf, a.UpTo)
+		return binary.LittleEndian.AppendUint64(buf, a.SentHigh)
+	case kindStable:
+		s := m.Stable
+		buf := make([]byte, 0, 32+16*len(s.SentHigh))
+		buf = append(buf, byte(kindStable))
+		buf = putConf(buf, s.Conf)
+		buf = binary.LittleEndian.AppendUint64(buf, s.UpTo)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.SentHigh)))
+		for id, high := range s.SentHigh {
+			buf = putStr(buf, string(id))
+			buf = binary.LittleEndian.AppendUint64(buf, high)
+		}
+		return buf
+	case kindNack:
+		nk := m.Nack
+		buf := make([]byte, 0, 32+8*(len(nk.LSeqs)+len(nk.GSeqs)))
+		buf = append(buf, byte(kindNack))
+		buf = putConf(buf, nk.Conf)
+		buf = putStr(buf, string(nk.Sender))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nk.LSeqs)))
+		for _, l := range nk.LSeqs {
+			buf = binary.LittleEndian.AppendUint64(buf, l)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nk.GSeqs)))
+		for _, g := range nk.GSeqs {
+			buf = binary.LittleEndian.AppendUint64(buf, g)
+		}
+		return buf
+	default:
+		body, err := json.Marshal(m)
+		if err != nil {
+			panic(fmt.Sprintf("evs: marshal %v: %v", m.Kind, err))
+		}
+		return append([]byte{byte(m.Kind)}, body...)
+	}
+}
+
+func decodeWire(buf []byte) (wireMsg, error) {
+	if len(buf) == 0 {
+		return wireMsg{}, fmt.Errorf("evs: empty datagram")
+	}
+	kind := msgKind(buf[0])
+	rest := buf[1:]
+	bad := func() (wireMsg, error) {
+		return wireMsg{}, fmt.Errorf("evs: truncated %v datagram", kind)
+	}
+	switch kind {
+	case kindData:
+		var d dataMsg
+		var ok bool
+		if d.Conf, rest, ok = getConf(rest); !ok {
+			return bad()
+		}
+		var s string
+		if s, rest, ok = getStr(rest); !ok {
+			return bad()
+		}
+		d.Sender = types.ServerID(s)
+		if len(rest) < 13 {
+			return bad()
+		}
+		d.LSeq = binary.LittleEndian.Uint64(rest)
+		d.Service = ServiceLevel(rest[8])
+		n := int(binary.LittleEndian.Uint32(rest[9:]))
+		rest = rest[13:]
+		if len(rest) < n {
+			return bad()
+		}
+		d.Payload = rest[:n:n]
+		return wireMsg{Kind: kindData, Data: &d}, nil
+	case kindOrder:
+		var o orderMsg
+		var ok bool
+		if o.Conf, rest, ok = getConf(rest); !ok {
+			return bad()
+		}
+		if len(rest) < 4 {
+			return bad()
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		// Each entry needs at least 18 bytes; a declared count beyond
+		// that is a corrupt (or hostile) datagram, not an allocation
+		// request.
+		if n > len(rest)/18+1 {
+			return bad()
+		}
+		o.Entries = make([]orderEntry, 0, n)
+		for i := 0; i < n; i++ {
+			var e orderEntry
+			if len(rest) < 8 {
+				return bad()
+			}
+			e.GSeq = binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+			var s string
+			if s, rest, ok = getStr(rest); !ok {
+				return bad()
+			}
+			e.Sender = types.ServerID(s)
+			if len(rest) < 8 {
+				return bad()
+			}
+			e.LSeq = binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+			o.Entries = append(o.Entries, e)
+		}
+		return wireMsg{Kind: kindOrder, Order: &o}, nil
+	case kindAck:
+		var a ackMsg
+		var ok bool
+		if a.Conf, rest, ok = getConf(rest); !ok {
+			return bad()
+		}
+		if len(rest) < 16 {
+			return bad()
+		}
+		a.UpTo = binary.LittleEndian.Uint64(rest)
+		a.SentHigh = binary.LittleEndian.Uint64(rest[8:])
+		return wireMsg{Kind: kindAck, Ack: &a}, nil
+	case kindStable:
+		var s stableMsg
+		var ok bool
+		if s.Conf, rest, ok = getConf(rest); !ok {
+			return bad()
+		}
+		if len(rest) < 12 {
+			return bad()
+		}
+		s.UpTo = binary.LittleEndian.Uint64(rest)
+		n := int(binary.LittleEndian.Uint32(rest[8:]))
+		rest = rest[12:]
+		// Each map entry needs at least 10 encoded bytes.
+		if n > len(rest)/10+1 {
+			return bad()
+		}
+		if n > 0 {
+			s.SentHigh = make(map[types.ServerID]uint64, n)
+			for i := 0; i < n; i++ {
+				var id string
+				if id, rest, ok = getStr(rest); !ok {
+					return bad()
+				}
+				if len(rest) < 8 {
+					return bad()
+				}
+				s.SentHigh[types.ServerID(id)] = binary.LittleEndian.Uint64(rest)
+				rest = rest[8:]
+			}
+		}
+		return wireMsg{Kind: kindStable, Stable: &s}, nil
+	case kindNack:
+		var nk nackMsg
+		var ok bool
+		if nk.Conf, rest, ok = getConf(rest); !ok {
+			return bad()
+		}
+		var s string
+		if s, rest, ok = getStr(rest); !ok {
+			return bad()
+		}
+		nk.Sender = types.ServerID(s)
+		if len(rest) < 4 {
+			return bad()
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if n > len(rest)/8 {
+			return bad()
+		}
+		for i := 0; i < n; i++ {
+			nk.LSeqs = append(nk.LSeqs, binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+		if len(rest) < 4 {
+			return bad()
+		}
+		n = int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if n > len(rest)/8 {
+			return bad()
+		}
+		for i := 0; i < n; i++ {
+			nk.GSeqs = append(nk.GSeqs, binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+		return wireMsg{Kind: kindNack, Nack: &nk}, nil
+	default:
+		var m wireMsg
+		if err := json.Unmarshal(rest, &m); err != nil {
+			return wireMsg{}, fmt.Errorf("evs: unmarshal %v: %w", kind, err)
+		}
+		m.Kind = kind
+		return m, nil
+	}
+}

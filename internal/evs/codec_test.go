@@ -1,0 +1,165 @@
+package evs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"evsdb/internal/types"
+)
+
+func roundTrip(t *testing.T, m wireMsg) wireMsg {
+	t.Helper()
+	buf := encodeWire(m)
+	got, err := decodeWire(buf)
+	if err != nil {
+		t.Fatalf("decode %v: %v", m.Kind, err)
+	}
+	return got
+}
+
+func TestCodecData(t *testing.T) {
+	in := wireMsg{Kind: kindData, Data: &dataMsg{
+		Conf:    types.ConfID{Counter: 7, Proposer: "s03"},
+		Sender:  "s11",
+		LSeq:    42,
+		Service: Safe,
+		Payload: []byte("the payload"),
+	}}
+	out := roundTrip(t, in)
+	if out.Kind != kindData || !reflect.DeepEqual(out.Data, in.Data) {
+		t.Fatalf("round trip: %+v vs %+v", out.Data, in.Data)
+	}
+}
+
+func TestCodecDataEmptyPayload(t *testing.T) {
+	in := wireMsg{Kind: kindData, Data: &dataMsg{
+		Conf: types.ConfID{Counter: 1, Proposer: "a"}, Sender: "a", LSeq: 1, Service: Fifo,
+	}}
+	out := roundTrip(t, in)
+	if len(out.Data.Payload) != 0 {
+		t.Fatalf("payload appeared: %q", out.Data.Payload)
+	}
+}
+
+func TestCodecOrder(t *testing.T) {
+	in := wireMsg{Kind: kindOrder, Order: &orderMsg{
+		Conf: types.ConfID{Counter: 3, Proposer: "x"},
+		Entries: []orderEntry{
+			{GSeq: 1, Sender: "a", LSeq: 1},
+			{GSeq: 2, Sender: "b", LSeq: 5},
+			{GSeq: 3, Sender: "a", LSeq: 2},
+		},
+	}}
+	out := roundTrip(t, in)
+	if !reflect.DeepEqual(out.Order, in.Order) {
+		t.Fatalf("round trip: %+v vs %+v", out.Order, in.Order)
+	}
+}
+
+func TestCodecAckStableNack(t *testing.T) {
+	ack := wireMsg{Kind: kindAck, Ack: &ackMsg{
+		Conf: types.ConfID{Counter: 9, Proposer: "p"}, UpTo: 100, SentHigh: 12,
+	}}
+	if out := roundTrip(t, ack); !reflect.DeepEqual(out.Ack, ack.Ack) {
+		t.Fatalf("ack: %+v", out.Ack)
+	}
+	stable := wireMsg{Kind: kindStable, Stable: &stableMsg{
+		Conf: types.ConfID{Counter: 9, Proposer: "p"}, UpTo: 55,
+		SentHigh: map[types.ServerID]uint64{"a": 1, "b": 2},
+	}}
+	if out := roundTrip(t, stable); !reflect.DeepEqual(out.Stable, stable.Stable) {
+		t.Fatalf("stable: %+v", out.Stable)
+	}
+	nack := wireMsg{Kind: kindNack, Nack: &nackMsg{
+		Conf: types.ConfID{Counter: 9, Proposer: "p"}, Sender: "s",
+		LSeqs: []uint64{3, 4}, GSeqs: []uint64{10},
+	}}
+	if out := roundTrip(t, nack); !reflect.DeepEqual(out.Nack, nack.Nack) {
+		t.Fatalf("nack: %+v", out.Nack)
+	}
+}
+
+func TestCodecMembershipJSON(t *testing.T) {
+	in := wireMsg{Kind: kindPropose, Propose: &proposeMsg{
+		Members: []types.ServerID{"a", "b", "c"}, MaxCounter: 4,
+	}}
+	out := roundTrip(t, in)
+	if !reflect.DeepEqual(out.Propose, in.Propose) {
+		t.Fatalf("propose: %+v", out.Propose)
+	}
+	fs := wireMsg{Kind: kindFlushState, FlushState: &flushStateMsg{
+		NewConf: types.ConfID{Counter: 5, Proposer: "a"},
+		Members: []types.ServerID{"a", "b"},
+		OldConf: types.ConfID{Counter: 4, Proposer: "a"},
+		Hold: holdings{
+			DataCut:     map[types.ServerID]uint64{"a": 3},
+			OrderCut:    3,
+			OrderSparse: []orderEntry{{GSeq: 5, Sender: "b", LSeq: 2}},
+		},
+		StableCut: 2,
+	}}
+	out = roundTrip(t, fs)
+	if !reflect.DeepEqual(out.FlushState, fs.FlushState) {
+		t.Fatalf("flushState: %+v vs %+v", out.FlushState, fs.FlushState)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := decodeWire(nil); err == nil {
+		t.Fatal("decoded empty datagram")
+	}
+	for _, kind := range []msgKind{kindData, kindOrder, kindAck, kindStable, kindNack} {
+		if _, err := decodeWire([]byte{byte(kind), 1, 2}); err == nil {
+			t.Fatalf("decoded truncated %v", kind)
+		}
+	}
+	if _, err := decodeWire([]byte{byte(kindPropose), '{'}); err == nil {
+		t.Fatal("decoded bad JSON membership message")
+	}
+}
+
+// TestCodecDataFuzzRoundTrip: arbitrary field values survive the binary
+// codec.
+func TestCodecDataFuzzRoundTrip(t *testing.T) {
+	prop := func(counter uint64, proposer, sender string, lseq uint64, svc uint8, payload []byte) bool {
+		if len(proposer) > 1000 || len(sender) > 1000 {
+			return true
+		}
+		in := dataMsg{
+			Conf:    types.ConfID{Counter: counter, Proposer: types.ServerID(proposer)},
+			Sender:  types.ServerID(sender),
+			LSeq:    lseq,
+			Service: ServiceLevel(svc%3 + 1),
+			Payload: payload,
+		}
+		out, err := decodeWire(encodeWire(wireMsg{Kind: kindData, Data: &in}))
+		if err != nil {
+			return false
+		}
+		d := out.Data
+		return d.Conf == in.Conf && d.Sender == in.Sender && d.LSeq == in.LSeq &&
+			d.Service == in.Service && bytes.Equal(d.Payload, in.Payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeNeverPanics throws random bytes at the decoder: errors are
+// fine, panics are not (datagrams cross trust boundaries in tcpnet).
+func TestDecodeNeverPanics(t *testing.T) {
+	prop := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decode panicked on %x: %v", data, r)
+			}
+		}()
+		_, _ = decodeWire(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,344 @@
+package evs
+
+import (
+	"sort"
+
+	"evsdb/internal/types"
+)
+
+// confState holds all protocol state scoped to one installed regular
+// configuration: per-sender data streams, the sequencer's global order,
+// cumulative acknowledgments and the delivery/stability cursors.
+//
+// Within a configuration the member set is fixed; streams reset on every
+// installation, so sequence numbers are small and dense.
+type confState struct {
+	id        types.ConfID
+	members   []types.ServerID
+	sequencer types.ServerID
+
+	// Per-sender data streams.
+	data    map[types.ServerID]map[uint64]*dataMsg // held payloads by lseq
+	dataCut map[types.ServerID]uint64              // contiguous prefix held
+	dataMax map[types.ServerID]uint64              // highest lseq seen
+
+	// Global order (assigned by the sequencer).
+	orders   map[uint64]orderEntry
+	orderCut uint64 // contiguous prefix of order entries held
+	orderMax uint64 // highest gseq seen
+
+	// Sequencer-only state.
+	nextGSeq     uint64
+	toOrder      map[types.ServerID]uint64 // next lseq to order per sender
+	pendingOrder []orderEntry              // batch awaiting multicast
+
+	// Delivery and stability. Acks flow (unicast) to the sequencer, which
+	// aggregates them and multicasts stability announcements; every node
+	// tracks the announced bound in stableCut.
+	delivered   uint64                    // ordered prefix delivered to the app
+	fifoDeliv   map[types.ServerID]uint64 // per-sender FIFO delivery cursor
+	holdCut     uint64                    // prefix with order entry + payload held
+	acks        map[types.ServerID]uint64 // sequencer only: cumulative acks
+	stableCut   uint64                    // announced stability bound
+	lastAckSent uint64
+	gcCut       uint64 // payloads <= gcCut discarded (stable + delivered)
+
+	// Sending.
+	nextLSeq uint64
+}
+
+func newConfState(id types.ConfID, members []types.ServerID) *confState {
+	ms := append([]types.ServerID(nil), members...)
+	types.SortServerIDs(ms)
+	c := &confState{
+		id:        id,
+		members:   ms,
+		sequencer: ms[0],
+		data:      make(map[types.ServerID]map[uint64]*dataMsg, len(ms)),
+		dataCut:   make(map[types.ServerID]uint64, len(ms)),
+		dataMax:   make(map[types.ServerID]uint64, len(ms)),
+		orders:    make(map[uint64]orderEntry),
+		toOrder:   make(map[types.ServerID]uint64, len(ms)),
+		acks:      make(map[types.ServerID]uint64, len(ms)),
+		fifoDeliv: make(map[types.ServerID]uint64, len(ms)),
+	}
+	for _, m := range ms {
+		c.data[m] = make(map[uint64]*dataMsg)
+		c.toOrder[m] = 1
+	}
+	return c
+}
+
+// storeData records a data message (live or retransmitted). It returns
+// false if the message is a duplicate or from a non-member.
+func (c *confState) storeData(d *dataMsg) bool {
+	stream, ok := c.data[d.Sender]
+	if !ok {
+		return false
+	}
+	if d.LSeq <= c.dataCut[d.Sender] {
+		return false // already covered by the contiguous prefix
+	}
+	if _, dup := stream[d.LSeq]; dup {
+		return false
+	}
+	stream[d.LSeq] = d
+	if d.LSeq > c.dataMax[d.Sender] {
+		c.dataMax[d.Sender] = d.LSeq
+	}
+	// Advance the contiguous prefix.
+	for {
+		next := c.dataCut[d.Sender] + 1
+		if _, held := stream[next]; !held {
+			break
+		}
+		c.dataCut[d.Sender] = next
+	}
+	return true
+}
+
+// storeOrder records order entries (live or retransmitted).
+func (c *confState) storeOrder(entries []orderEntry) {
+	for _, e := range entries {
+		if e.GSeq <= c.gcCut {
+			continue
+		}
+		if _, dup := c.orders[e.GSeq]; dup {
+			continue
+		}
+		c.orders[e.GSeq] = e
+		if e.GSeq > c.orderMax {
+			c.orderMax = e.GSeq
+		}
+		// An order entry proves the referenced data exists; expose it to
+		// gap detection even if the data message itself was lost.
+		if e.LSeq > c.dataMax[e.Sender] {
+			c.dataMax[e.Sender] = e.LSeq
+		}
+	}
+	for {
+		if _, held := c.orders[c.orderCut+1]; !held {
+			break
+		}
+		c.orderCut++
+	}
+}
+
+// sequence runs the sequencer's assignment loop for sender s: every
+// contiguous, not-yet-ordered data message gets the next global sequence
+// number. Entries accumulate in pendingOrder for batched multicast.
+func (c *confState) sequence(s types.ServerID) {
+	for {
+		next := c.toOrder[s]
+		d, held := c.data[s][next]
+		if !held {
+			return
+		}
+		if d.Service == Fifo {
+			// FIFO messages bypass global ordering entirely.
+			c.toOrder[s] = next + 1
+			continue
+		}
+		c.nextGSeq++
+		c.pendingOrder = append(c.pendingOrder, orderEntry{
+			GSeq:   c.nextGSeq,
+			Sender: s,
+			LSeq:   next,
+		})
+		c.toOrder[s] = next + 1
+	}
+}
+
+// advanceHold moves holdCut forward: the largest prefix of global
+// sequence numbers for which both the order entry and the data payload
+// are held. holdCut is what the node acknowledges.
+func (c *confState) advanceHold() {
+	for {
+		e, ok := c.orders[c.holdCut+1]
+		if !ok {
+			return
+		}
+		if _, held := c.data[e.Sender][e.LSeq]; !held {
+			return
+		}
+		c.holdCut++
+	}
+}
+
+// stable returns the highest global sequence number known held by every
+// member (SAFE deliverability bound), as announced by the sequencer.
+func (c *confState) stable() uint64 { return c.stableCut }
+
+// ackMin computes, at the sequencer, the stability bound from collected
+// acks (its own contribution is holdCut).
+func (c *confState) ackMin() uint64 {
+	s := c.holdCut
+	for _, m := range c.members {
+		if m == c.sequencer {
+			continue
+		}
+		if v := c.acks[m]; v < s {
+			s = v
+		}
+	}
+	return s
+}
+
+// nextFifo returns FIFO-service messages from s that became deliverable
+// (the sender's stream is contiguous through them), advancing the cursor.
+func (c *confState) nextFifo(s types.ServerID) []*dataMsg {
+	var out []*dataMsg
+	for c.fifoDeliv[s] < c.dataCut[s] {
+		l := c.fifoDeliv[s] + 1
+		if d, held := c.data[s][l]; held && d.Service == Fifo {
+			out = append(out, d)
+		}
+		c.fifoDeliv[s] = l
+	}
+	return out
+}
+
+// nextDeliverable returns the next message to deliver in global order, or
+// nil if the head of the queue is not yet deliverable. Safe-service
+// messages additionally wait for stability.
+func (c *confState) nextDeliverable() *dataMsg {
+	g := c.delivered + 1
+	e, ok := c.orders[g]
+	if !ok {
+		return nil
+	}
+	d, held := c.data[e.Sender][e.LSeq]
+	if !held {
+		return nil
+	}
+	if d.Service == Safe && g > c.stable() {
+		return nil
+	}
+	return d
+}
+
+// markDelivered advances the delivery cursor past the current head.
+func (c *confState) markDelivered() { c.delivered++ }
+
+// gc discards payloads and order entries that are both delivered and
+// stable: every member holds them, so no flush will ever need to
+// retransmit them. Logical cuts (dataCut, orderCut) are preserved.
+func (c *confState) gc() {
+	limit := c.stable()
+	if c.delivered < limit {
+		limit = c.delivered
+	}
+	for g := c.gcCut + 1; g <= limit; g++ {
+		if e, ok := c.orders[g]; ok {
+			delete(c.data[e.Sender], e.LSeq)
+			delete(c.orders, g)
+		}
+	}
+	if limit > c.gcCut {
+		c.gcCut = limit
+	}
+}
+
+// holdings summarizes what this node holds, for flush exchange.
+func (c *confState) holdings() holdings {
+	h := holdings{
+		DataCut:  make(map[types.ServerID]uint64, len(c.members)),
+		OrderCut: c.orderCut,
+	}
+	for _, m := range c.members {
+		h.DataCut[m] = c.dataCut[m]
+		var sparse []uint64
+		for lseq := range c.data[m] {
+			if lseq > c.dataCut[m] {
+				sparse = append(sparse, lseq)
+			}
+		}
+		if len(sparse) > 0 {
+			sort.Slice(sparse, func(i, j int) bool { return sparse[i] < sparse[j] })
+			h.DataSparse = ensureSparse(h.DataSparse)
+			h.DataSparse[m] = sparse
+		}
+	}
+	for g := c.orderCut + 1; g <= c.orderMax; g++ {
+		if e, ok := c.orders[g]; ok {
+			h.OrderSparse = append(h.OrderSparse, e)
+		}
+	}
+	sort.Slice(h.OrderSparse, func(i, j int) bool {
+		return h.OrderSparse[i].GSeq < h.OrderSparse[j].GSeq
+	})
+	return h
+}
+
+func ensureSparse(m map[types.ServerID][]uint64) map[types.ServerID][]uint64 {
+	if m == nil {
+		return make(map[types.ServerID][]uint64)
+	}
+	return m
+}
+
+// dataGaps returns, per sender, the missing local sequence numbers below
+// the highest seen, for NACK generation. Capped to keep NACKs small.
+func (c *confState) dataGaps(cap int) map[types.ServerID][]uint64 {
+	var out map[types.ServerID][]uint64
+	for _, m := range c.members {
+		var miss []uint64
+		for lseq := c.dataCut[m] + 1; lseq <= c.dataMax[m] && len(miss) < cap; lseq++ {
+			if _, held := c.data[m][lseq]; !held {
+				miss = append(miss, lseq)
+			}
+		}
+		if len(miss) > 0 {
+			if out == nil {
+				out = make(map[types.ServerID][]uint64)
+			}
+			out[m] = miss
+		}
+	}
+	return out
+}
+
+// orderGaps returns missing global sequence numbers below the highest
+// seen, for NACK generation.
+func (c *confState) orderGaps(cap int) []uint64 {
+	var miss []uint64
+	for g := c.orderCut + 1; g <= c.orderMax && len(miss) < cap; g++ {
+		if _, held := c.orders[g]; !held {
+			miss = append(miss, g)
+		}
+	}
+	return miss
+}
+
+// unorderedData returns held data messages that have no order entry, in
+// the deterministic (sender, lseq) order used for transitional delivery.
+func (c *confState) unorderedData() []*dataMsg {
+	ordered := make(map[types.ServerID]map[uint64]bool)
+	for _, e := range c.orders {
+		if ordered[e.Sender] == nil {
+			ordered[e.Sender] = make(map[uint64]bool)
+		}
+		ordered[e.Sender][e.LSeq] = true
+	}
+	// Everything at or below the sequencer cut for each sender may also be
+	// ordered but GC'd; approximate by excluding gseq-covered pairs plus
+	// anything <= gcCut coverage via the orders map only. GC only removes
+	// messages that were delivered everywhere, which are never candidates
+	// for transitional delivery.
+	var out []*dataMsg
+	for _, m := range c.members {
+		for lseq, d := range c.data[m] {
+			if ordered[m] != nil && ordered[m][lseq] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sender != out[j].Sender {
+			return out[i].Sender < out[j].Sender
+		}
+		return out[i].LSeq < out[j].LSeq
+	})
+	return out
+}

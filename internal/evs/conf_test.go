@@ -1,0 +1,268 @@
+package evs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"evsdb/internal/types"
+)
+
+func newTestConf() *confState {
+	return newConfState(
+		types.ConfID{Counter: 1, Proposer: "a"},
+		[]types.ServerID{"a", "b", "c"},
+	)
+}
+
+func dm(sender string, lseq uint64, svc ServiceLevel) *dataMsg {
+	return &dataMsg{
+		Conf:    types.ConfID{Counter: 1, Proposer: "a"},
+		Sender:  types.ServerID(sender),
+		LSeq:    lseq,
+		Service: svc,
+		Payload: []byte(fmt.Sprintf("%s/%d", sender, lseq)),
+	}
+}
+
+func TestConfSequencerIsLowestMember(t *testing.T) {
+	c := newConfState(types.ConfID{Counter: 1, Proposer: "z"},
+		[]types.ServerID{"c", "a", "b"})
+	if c.sequencer != "a" {
+		t.Fatalf("sequencer = %s", c.sequencer)
+	}
+}
+
+func TestConfStoreDataAdvancesCut(t *testing.T) {
+	c := newTestConf()
+	if !c.storeData(dm("a", 1, Agreed)) {
+		t.Fatal("first store rejected")
+	}
+	if c.storeData(dm("a", 1, Agreed)) {
+		t.Fatal("duplicate accepted")
+	}
+	// Out-of-order arrival: cut waits for the gap to fill.
+	c.storeData(dm("a", 3, Agreed))
+	if c.dataCut["a"] != 1 || c.dataMax["a"] != 3 {
+		t.Fatalf("cut=%d max=%d", c.dataCut["a"], c.dataMax["a"])
+	}
+	c.storeData(dm("a", 2, Agreed))
+	if c.dataCut["a"] != 3 {
+		t.Fatalf("cut=%d after gap fill", c.dataCut["a"])
+	}
+}
+
+func TestConfStoreDataRejectsNonMember(t *testing.T) {
+	c := newTestConf()
+	if c.storeData(dm("zz", 1, Agreed)) {
+		t.Fatal("non-member data accepted")
+	}
+}
+
+func TestConfSequenceSkipsFifo(t *testing.T) {
+	c := newTestConf()
+	c.storeData(dm("a", 1, Fifo))
+	c.storeData(dm("a", 2, Safe))
+	c.storeData(dm("a", 3, Fifo))
+	c.storeData(dm("a", 4, Agreed))
+	c.sequence("a")
+	if len(c.pendingOrder) != 2 {
+		t.Fatalf("pending order: %+v", c.pendingOrder)
+	}
+	if c.pendingOrder[0].LSeq != 2 || c.pendingOrder[1].LSeq != 4 {
+		t.Fatalf("fifo messages ordered: %+v", c.pendingOrder)
+	}
+}
+
+func TestConfDeliveryRespectsStability(t *testing.T) {
+	c := newTestConf()
+	c.storeData(dm("a", 1, Safe))
+	c.storeOrder([]orderEntry{{GSeq: 1, Sender: "a", LSeq: 1}})
+	c.advanceHold()
+	if c.holdCut != 1 {
+		t.Fatalf("holdCut %d", c.holdCut)
+	}
+	if d := c.nextDeliverable(); d != nil {
+		t.Fatal("safe message delivered before stability")
+	}
+	c.stableCut = 1
+	d := c.nextDeliverable()
+	if d == nil || d.LSeq != 1 {
+		t.Fatalf("deliverable: %+v", d)
+	}
+	c.markDelivered()
+	if c.nextDeliverable() != nil {
+		t.Fatal("delivered twice")
+	}
+}
+
+func TestConfAgreedDeliversWithoutStability(t *testing.T) {
+	c := newTestConf()
+	c.storeData(dm("b", 1, Agreed))
+	c.storeOrder([]orderEntry{{GSeq: 1, Sender: "b", LSeq: 1}})
+	if d := c.nextDeliverable(); d == nil {
+		t.Fatal("agreed message blocked on stability")
+	}
+}
+
+func TestConfGapsReported(t *testing.T) {
+	c := newTestConf()
+	c.storeData(dm("a", 1, Agreed))
+	c.storeData(dm("a", 4, Agreed))
+	gaps := c.dataGaps(10)
+	if len(gaps["a"]) != 2 || gaps["a"][0] != 2 || gaps["a"][1] != 3 {
+		t.Fatalf("data gaps: %+v", gaps)
+	}
+	c.storeOrder([]orderEntry{{GSeq: 1, Sender: "a", LSeq: 1}, {GSeq: 4, Sender: "a", LSeq: 4}})
+	og := c.orderGaps(10)
+	if len(og) != 2 || og[0] != 2 || og[1] != 3 {
+		t.Fatalf("order gaps: %+v", og)
+	}
+}
+
+func TestConfGCKeepsUnstable(t *testing.T) {
+	c := newTestConf()
+	for i := uint64(1); i <= 5; i++ {
+		c.storeData(dm("a", i, Safe))
+		c.storeOrder([]orderEntry{{GSeq: i, Sender: "a", LSeq: i}})
+	}
+	c.advanceHold()
+	c.stableCut = 3
+	for c.nextDeliverable() != nil {
+		c.markDelivered()
+	}
+	if c.delivered != 3 {
+		t.Fatalf("delivered %d", c.delivered)
+	}
+	c.gc()
+	if _, held := c.orders[3]; held {
+		t.Fatal("stable+delivered entry not collected")
+	}
+	if _, held := c.orders[4]; !held {
+		t.Fatal("unstable entry collected")
+	}
+	// Logical cuts are preserved for flush holdings.
+	h := c.holdings()
+	if h.OrderCut != 5 || h.DataCut["a"] != 5 {
+		t.Fatalf("holdings after gc: %+v", h)
+	}
+}
+
+func TestConfLeftoverDataDeterministic(t *testing.T) {
+	c := newTestConf()
+	c.storeData(dm("b", 1, Safe))
+	c.storeData(dm("a", 2, Safe))
+	c.storeData(dm("a", 1, Safe))
+	c.storeData(dm("c", 1, Safe))
+	left := c.leftoverData()
+	want := []string{"a/1", "a/2", "b/1", "c/1"}
+	if len(left) != len(want) {
+		t.Fatalf("leftover count %d", len(left))
+	}
+	for i, d := range left {
+		if string(d.Payload) != want[i] {
+			t.Fatalf("leftover[%d] = %s, want %s", i, d.Payload, want[i])
+		}
+	}
+}
+
+// TestConfHoldingsCoverEverythingStored: property — whatever subset of a
+// message stream arrives, holdings must account for exactly the stored
+// items (cut + sparse).
+func TestConfHoldingsCoverEverythingStored(t *testing.T) {
+	prop := func(seed int64, present []bool) bool {
+		if len(present) > 64 {
+			present = present[:64]
+		}
+		c := newTestConf()
+		stored := make(map[uint64]bool)
+		for i, p := range present {
+			if p {
+				lseq := uint64(i + 1)
+				c.storeData(dm("b", lseq, Agreed))
+				stored[lseq] = true
+			}
+		}
+		h := c.holdings()
+		// Everything reported held must be stored, and vice versa.
+		reported := make(map[uint64]bool)
+		for l := uint64(1); l <= h.DataCut["b"]; l++ {
+			reported[l] = true
+		}
+		for _, l := range h.DataSparse["b"] {
+			reported[l] = true
+		}
+		if len(reported) != len(stored) {
+			return false
+		}
+		for l := range stored {
+			if !reported[l] {
+				return false
+			}
+		}
+		_ = seed
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfDeliveryOrderInvariant: regardless of arrival interleaving of
+// data and order messages, delivery happens strictly in gseq order.
+func TestConfDeliveryOrderInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := newTestConf()
+		c.stableCut = 100 // stability not under test here
+		type item struct {
+			data  *dataMsg
+			order orderEntry
+		}
+		var items []item
+		g := uint64(0)
+		for _, s := range []string{"a", "b"} {
+			for l := uint64(1); l <= 5; l++ {
+				g++
+				items = append(items, item{
+					data:  dm(s, l, Safe),
+					order: orderEntry{GSeq: g, Sender: types.ServerID(s), LSeq: l},
+				})
+			}
+		}
+		// Random arrival order of 2x events (data + order per item).
+		var events []func()
+		for _, it := range items {
+			it := it
+			events = append(events,
+				func() { c.storeData(it.data) },
+				func() { c.storeOrder([]orderEntry{it.order}) })
+		}
+		rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+		var delivered []uint64
+		for _, ev := range events {
+			ev()
+			for {
+				d := c.nextDeliverable()
+				if d == nil {
+					break
+				}
+				delivered = append(delivered, c.delivered+1)
+				c.markDelivered()
+			}
+		}
+		if len(delivered) != len(items) {
+			return false
+		}
+		for i, g := range delivered {
+			if g != uint64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package evs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"evsdb/internal/types"
+)
+
+func TestDeliveryLatencyProbe(t *testing.T) {
+	h := newHarness14(t)
+	var all []types.ServerID
+	for i := 0; i < 14; i++ {
+		all = append(all, serverID(i))
+	}
+	h.waitView(all, all)
+	for _, svc := range []ServiceLevel{Agreed, Safe} {
+		var total time.Duration
+		const N = 50
+		for i := 0; i < N; i++ {
+			want := fmt.Sprintf("%v-%d", svc, i)
+			t0 := time.Now()
+			_ = h.nodes[all[3]].Multicast([]byte(want), svc)
+			waitFor(t, 5*time.Second, "delivery", func() bool {
+				ds := deliveries(h.events(all[7]))
+				return len(ds) > 0 && ds[len(ds)-1] == want
+			})
+			total += time.Since(t0)
+		}
+		t.Logf("%v: avg %.3fms", svc, float64(total/N)/float64(time.Millisecond))
+	}
+}

@@ -1,0 +1,541 @@
+package evs
+
+import (
+	"sort"
+
+	"evsdb/internal/types"
+)
+
+// enterGather starts (or restarts) membership agreement from the current
+// failure-detector estimate. Gather is symmetric: every node announces
+// the member set it believes in, and agreement is reached when every
+// proposed member proposes the identical set.
+func (n *Node) enterGather() {
+	n.phase = phaseGather
+	n.flush = nil
+	n.proposals = make(map[types.ServerID]proposeMsg)
+	n.propose(n.reachable())
+}
+
+// propose records and multicasts this node's membership proposal.
+func (n *Node) propose(members []types.ServerID) {
+	ms := append([]types.ServerID(nil), members...)
+	types.SortServerIDs(ms)
+	n.myProposal = ms
+	p := proposeMsg{Members: ms, MaxCounter: n.maxCounter}
+	n.proposals[n.id] = p
+	// Prune proposals from nodes outside the current candidate set.
+	for id := range n.proposals {
+		if !containsID(ms, id) {
+			delete(n.proposals, id)
+		}
+	}
+	n.multicast(ms, wireMsg{Kind: kindPropose, Propose: &p})
+	n.checkAgreement()
+}
+
+func containsID(ids []types.ServerID, id types.ServerID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// handlePropose processes a membership announcement from a peer.
+func (n *Node) handlePropose(from types.ServerID, p proposeMsg) {
+	switch n.phase {
+	case phaseRegular:
+		// Distinguish two same-membership cases: a late duplicate from
+		// the gather that installed the current configuration carries a
+		// counter below ours (ignore it, or every install would trigger a
+		// fresh round); a peer that re-entered gather after a transient
+		// flap carries our counter or higher and needs us to participate
+		// or it blocks forever.
+		if n.conf != nil && equalIDs(p.Members, n.conf.members) &&
+			p.MaxCounter < n.conf.id.Counter {
+			return
+		}
+		n.enterGather()
+		n.proposals[from] = p
+		n.checkAgreement()
+	case phaseGather:
+		if _, seen := n.proposals[from]; !seen {
+			// First contact from this peer: it may have entered gather
+			// after our announcement went out. Re-announce once so
+			// progress stays event-driven rather than timer-driven.
+			mine := n.proposals[n.id]
+			n.multicast(n.myProposal, wireMsg{Kind: kindPropose, Propose: &mine})
+		}
+		n.proposals[from] = p
+		if !equalIDs(p.Members, n.myProposal) && containsID(p.Members, n.id) {
+			// Fold in the peer's knowledge only via the failure
+			// detector: re-read it, since proposals must converge to the
+			// oracle's component.
+			cur := n.reachable()
+			if !equalIDs(cur, n.myProposal) {
+				n.propose(cur)
+				return
+			}
+		}
+		n.checkAgreement()
+	case phaseFlush:
+		// Same distinction as above: proposals from the gather that led
+		// to this flush carry counter < newConf's; a peer that restarted
+		// gather after observing (or installing) this configuration
+		// carries >= and requires a fresh round.
+		if equalIDs(p.Members, n.flush.members) &&
+			p.MaxCounter < n.flush.newConf.Counter {
+			return // straggler still gathering toward the same view
+		}
+		n.enterGather()
+		n.proposals[from] = p
+		n.checkAgreement()
+	}
+}
+
+// checkAgreement tests whether every proposed member proposes exactly the
+// same set; on success the flush phase starts toward the new
+// configuration id (max counter seen + 1, lowest member as tiebreak).
+func (n *Node) checkAgreement() {
+	if n.phase != phaseGather {
+		return
+	}
+	maxCounter := n.maxCounter
+	for _, m := range n.myProposal {
+		p, ok := n.proposals[m]
+		if !ok || !equalIDs(p.Members, n.myProposal) {
+			return
+		}
+		if p.MaxCounter > maxCounter {
+			maxCounter = p.MaxCounter
+		}
+	}
+	n.maxCounter = maxCounter + 1
+	newConf := types.ConfID{Counter: n.maxCounter, Proposer: n.myProposal[0]}
+	n.enterFlush(newConf, n.myProposal)
+}
+
+// enterFlush begins the flush protocol toward newConf: exchange holdings
+// within the transitional set, equalize, deliver the transitional
+// configuration and its messages, then synchronize installation.
+func (n *Node) enterFlush(newConf types.ConfID, members []types.ServerID) {
+	n.phase = phaseFlush
+	n.flush = &flushPhase{
+		newConf:  newConf,
+		members:  append([]types.ServerID(nil), members...),
+		states:   make(map[types.ServerID]flushStateMsg),
+		doneFrom: make(map[types.ServerID]bool),
+	}
+	n.sendFlushState()
+}
+
+// sendFlushState multicasts this node's current flush state (holdings
+// update included) to the prospective members.
+func (n *Node) sendFlushState() {
+	fs := flushStateMsg{
+		NewConf: n.flush.newConf,
+		Members: n.flush.members,
+		OldConf: n.oldConfID,
+	}
+	if n.conf != nil {
+		fs.Hold = n.conf.holdings()
+		fs.StableCut = n.conf.stable()
+	}
+	n.flush.states[n.id] = fs
+	n.multicast(n.flush.members, wireMsg{Kind: kindFlushState, FlushState: &fs})
+}
+
+// handleFlushState records a peer's flush state for the same attempt.
+// First contact triggers an event-driven re-announcement of our own
+// state; any update triggers a retransmission scan so holdings equalize
+// without waiting for the periodic resend.
+func (n *Node) handleFlushState(from types.ServerID, fs flushStateMsg) {
+	if n.phase != phaseFlush || fs.NewConf != n.flush.newConf {
+		return
+	}
+	_, seen := n.flush.states[from]
+	n.flush.states[from] = fs
+	if !seen && from != n.id {
+		n.sendFlushState()
+		if n.flush.doneSent {
+			n.multicast(n.flush.members, wireMsg{Kind: kindFlushDone,
+				FlushDone: &flushDoneMsg{NewConf: n.flush.newConf}})
+		}
+	}
+	if t := n.transSet(); t != nil {
+		u := n.computeUnion(t)
+		n.retransmitLacking(t, u)
+	}
+}
+
+// transSet returns the members of the flush attempt that come directly
+// from this node's previous regular configuration (the EVS transitional
+// membership), provided every member's state has arrived; otherwise nil.
+func (n *Node) transSet() []types.ServerID {
+	f := n.flush
+	for _, m := range f.members {
+		if _, ok := f.states[m]; !ok {
+			return nil
+		}
+	}
+	var t []types.ServerID
+	for _, m := range f.members {
+		if f.states[m].OldConf == n.oldConfID {
+			t = append(t, m)
+		}
+	}
+	return types.SortServerIDs(t)
+}
+
+// flushUnion merges the holdings reported by the transitional set.
+type flushUnion struct {
+	dataCut    map[types.ServerID]uint64
+	dataSparse map[types.ServerID]map[uint64]bool
+	orderCut   uint64
+	orders     map[uint64]orderEntry
+	orderMax   uint64
+	maxStable  uint64
+}
+
+func (n *Node) computeUnion(t []types.ServerID) flushUnion {
+	u := flushUnion{
+		dataCut:    make(map[types.ServerID]uint64),
+		dataSparse: make(map[types.ServerID]map[uint64]bool),
+		orders:     make(map[uint64]orderEntry),
+	}
+	for _, m := range t {
+		fs := n.flush.states[m]
+		if fs.StableCut > u.maxStable {
+			u.maxStable = fs.StableCut
+		}
+		if fs.Hold.OrderCut > u.orderCut {
+			u.orderCut = fs.Hold.OrderCut
+		}
+		for _, e := range fs.Hold.OrderSparse {
+			u.orders[e.GSeq] = e
+			if e.GSeq > u.orderMax {
+				u.orderMax = e.GSeq
+			}
+		}
+		for s, cut := range fs.Hold.DataCut {
+			if cut > u.dataCut[s] {
+				u.dataCut[s] = cut
+			}
+		}
+		for s, sparse := range fs.Hold.DataSparse {
+			if u.dataSparse[s] == nil {
+				u.dataSparse[s] = make(map[uint64]bool)
+			}
+			for _, lseq := range sparse {
+				u.dataSparse[s][lseq] = true
+			}
+		}
+	}
+	if u.orderCut > u.orderMax {
+		u.orderMax = u.orderCut
+	}
+	return u
+}
+
+// coversUnion reports whether the node's local holdings include every
+// item in the union (so it may deliver its transitional messages).
+func (n *Node) coversUnion(u flushUnion) bool {
+	c := n.conf
+	if c == nil {
+		return true
+	}
+	if c.orderCut < u.orderCut {
+		return false
+	}
+	for g, e := range u.orders {
+		if g <= c.orderCut || g <= c.gcCut {
+			continue
+		}
+		if _, held := c.orders[g]; !held {
+			_ = e
+			return false
+		}
+	}
+	for s, cut := range u.dataCut {
+		if c.dataCut[s] < cut {
+			return false
+		}
+	}
+	for s, sparse := range u.dataSparse {
+		for lseq := range sparse {
+			if lseq <= c.dataCut[s] {
+				continue
+			}
+			if _, held := c.data[s][lseq]; !held {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// retransmitLacking re-multicasts items this node holds that some member
+// of the transitional set still lacks, if this node is the lowest-id
+// holder (a deterministic choice that avoids duplicate storms).
+func (n *Node) retransmitLacking(t []types.ServerID, u flushUnion) {
+	if n.conf == nil {
+		return
+	}
+	c := n.conf
+	// Collect, per item, which members hold it and which lack it.
+	type need struct {
+		lackers bool
+		holders []types.ServerID
+	}
+	// Nothing below every member's contiguous cut can be lacking; start
+	// the scans there to keep flush work proportional to the tail.
+	minOrderCut := u.orderCut
+	minDataCut := make(map[types.ServerID]uint64, len(u.dataCut))
+	for s, cut := range u.dataCut {
+		minDataCut[s] = cut
+	}
+	for _, m := range t {
+		fs := n.flush.states[m]
+		if fs.Hold.OrderCut < minOrderCut {
+			minOrderCut = fs.Hold.OrderCut
+		}
+		for s := range minDataCut {
+			if fs.Hold.DataCut[s] < minDataCut[s] {
+				minDataCut[s] = fs.Hold.DataCut[s]
+			}
+		}
+	}
+	// Order entries.
+	for g := minOrderCut + 1; g <= u.orderMax; g++ {
+		if _, inUnion := u.orders[g]; !inUnion && g > u.orderCut {
+			continue
+		}
+		nd := need{}
+		for _, m := range t {
+			fs := n.flush.states[m]
+			if holdsOrder(fs.Hold, g) {
+				nd.holders = append(nd.holders, m)
+			} else {
+				nd.lackers = true
+			}
+		}
+		if !nd.lackers || len(nd.holders) == 0 || nd.holders[0] != n.id {
+			continue
+		}
+		e, held := c.orders[g]
+		if !held {
+			continue // below our contiguous cut but GC'd: all members held it
+		}
+		n.multicast(t, wireMsg{Kind: kindRetransOrder, RetransOrder: &retransOrderMsg{
+			NewConf: n.flush.newConf,
+			OldConf: n.oldConfID,
+			Entries: []orderEntry{e},
+		}})
+	}
+	// Data messages.
+	for s, cut := range u.dataCut {
+		limit := cut
+		for lseq := range u.dataSparse[s] {
+			if lseq > limit {
+				limit = lseq
+			}
+		}
+		for lseq := minDataCut[s] + 1; lseq <= limit; lseq++ {
+			if lseq > cut && !u.dataSparse[s][lseq] {
+				continue
+			}
+			nd := need{}
+			for _, m := range t {
+				fs := n.flush.states[m]
+				if holdsData(fs.Hold, s, lseq) {
+					nd.holders = append(nd.holders, m)
+				} else {
+					nd.lackers = true
+				}
+			}
+			if !nd.lackers || len(nd.holders) == 0 || nd.holders[0] != n.id {
+				continue
+			}
+			d, held := c.data[s][lseq]
+			if !held {
+				continue // GC'd: provably held everywhere
+			}
+			n.multicast(t, wireMsg{Kind: kindRetransData, RetransData: &retransDataMsg{
+				NewConf: n.flush.newConf,
+				Data:    *d,
+			}})
+		}
+	}
+}
+
+func holdsOrder(h holdings, g uint64) bool {
+	if g <= h.OrderCut {
+		return true
+	}
+	for _, e := range h.OrderSparse {
+		if e.GSeq == g {
+			return true
+		}
+	}
+	return false
+}
+
+func holdsData(h holdings, s types.ServerID, lseq uint64) bool {
+	if lseq <= h.DataCut[s] {
+		return true
+	}
+	for _, x := range h.DataSparse[s] {
+		if x == lseq {
+			return true
+		}
+	}
+	return false
+}
+
+// progressFlush drives the flush phase: once all states are in and local
+// holdings cover the transitional union, deliver the remaining old-
+// configuration messages and the transitional configuration, then
+// synchronize installation via flush-done messages.
+func (n *Node) progressFlush() {
+	f := n.flush
+	t := n.transSet()
+	if t == nil {
+		return
+	}
+	u := n.computeUnion(t)
+	if !n.transDone {
+		if !n.coversUnion(u) {
+			return
+		}
+		n.deliverTransitional(t, u)
+		n.transDone = true
+	}
+	if !f.doneSent {
+		f.doneSent = true
+		f.doneFrom[n.id] = true
+		n.multicast(f.members, wireMsg{Kind: kindFlushDone, FlushDone: &flushDoneMsg{NewConf: f.newConf}})
+	}
+	for _, m := range f.members {
+		if !f.doneFrom[m] {
+			return
+		}
+	}
+	n.install()
+}
+
+// deliverTransitional performs the EVS end-of-configuration delivery:
+//
+//  1. messages that still meet the Safe guarantee (stable anywhere in the
+//     transitional set, or Agreed service) are delivered in the *regular*
+//     configuration (§ 4.1 case 1);
+//  2. the transitional configuration notification;
+//  3. the remaining ordered messages, then order-less messages in
+//     deterministic (sender, lseq) order — identical at every member of
+//     the transitional set (virtual synchrony), § 4.1 case 2.
+func (n *Node) deliverTransitional(t []types.ServerID, u flushUnion) {
+	c := n.conf
+	if c == nil {
+		return // first configuration: nothing to flush
+	}
+	// 1. Regular-configuration deliveries: the longest prefix where every
+	// message is Agreed or within the known-stable bound.
+	for {
+		g := c.delivered + 1
+		e, ok := c.orders[g]
+		if !ok {
+			break
+		}
+		d, held := c.data[e.Sender][e.LSeq]
+		if !held {
+			break
+		}
+		if d.Service == Safe && g > u.maxStable {
+			break
+		}
+		n.emit(Delivery{Conf: c.id, Sender: d.Sender, Payload: d.Payload, Service: d.Service})
+		c.markDelivered()
+	}
+	// 2. Transitional configuration.
+	n.emit(ViewChange{Config: types.Configuration{
+		ID:           c.id,
+		Members:      t,
+		Transitional: true,
+	}})
+	// 3a. Remaining ordered messages, up to the first hole in the union
+	// (a hole means the sequencer's assignment was lost everywhere that
+	// survived; the messages behind it fall back to deterministic order).
+	for {
+		g := c.delivered + 1
+		e, ok := c.orders[g]
+		if !ok {
+			break
+		}
+		d, held := c.data[e.Sender][e.LSeq]
+		if !held {
+			break
+		}
+		n.emit(Delivery{Conf: c.id, Sender: d.Sender, Payload: d.Payload, Service: d.Service, InTrans: true})
+		c.markDelivered()
+	}
+	// 3b. Everything else, in deterministic (sender, lseq) order.
+	for _, d := range c.leftoverData() {
+		n.emit(Delivery{Conf: c.id, Sender: d.Sender, Payload: d.Payload, Service: d.Service, InTrans: true})
+	}
+}
+
+// install delivers the new regular configuration and resets per-
+// configuration state. Buffered application sends go out immediately in
+// the new configuration.
+func (n *Node) install() {
+	f := n.flush
+	n.emit(ViewChange{Config: types.Configuration{
+		ID:      f.newConf,
+		Members: append([]types.ServerID(nil), f.members...),
+	}})
+	n.conf = newConfState(f.newConf, f.members)
+	n.oldConfID = f.newConf
+	n.phase = phaseRegular
+	n.flush = nil
+	n.proposals = nil
+	n.transDone = false
+	pend := n.pendingSend
+	n.pendingSend = nil
+	for _, od := range pend {
+		n.sendData(od)
+	}
+}
+
+// leftoverData returns held data messages not yet delivered, in the
+// deterministic transitional order.
+func (c *confState) leftoverData() []*dataMsg {
+	deliveredPair := make(map[types.ServerID]map[uint64]bool)
+	for g, e := range c.orders {
+		if g <= c.delivered {
+			if deliveredPair[e.Sender] == nil {
+				deliveredPair[e.Sender] = make(map[uint64]bool)
+			}
+			deliveredPair[e.Sender][e.LSeq] = true
+		}
+	}
+	var out []*dataMsg
+	for _, m := range c.members {
+		for lseq, d := range c.data[m] {
+			if deliveredPair[m] != nil && deliveredPair[m][lseq] {
+				continue
+			}
+			if d.Service == Fifo && lseq <= c.fifoDeliv[m] {
+				continue // already delivered by the FIFO fast path
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sender != out[j].Sender {
+			return out[i].Sender < out[j].Sender
+		}
+		return out[i].LSeq < out[j].LSeq
+	})
+	return out
+}

@@ -1,0 +1,94 @@
+package evs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"evsdb/internal/transport/memnet"
+	"evsdb/internal/types"
+)
+
+func TestFourteenNodesConverge(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		func() {
+			h := newHarness14(t)
+			var all []types.ServerID
+			for i := 0; i < 14; i++ {
+				all = append(all, serverID(i))
+			}
+			h.waitView(all, all)
+			for i, id := range all {
+				_ = h.nodes[id].Multicast([]byte(fmt.Sprintf("m%d", i)), Safe)
+			}
+			waitFor(t, 10*time.Second, fmt.Sprintf("round %d deliveries", round), func() bool {
+				for _, id := range all {
+					if len(deliveries(h.events(id))) < 14 {
+						return false
+					}
+				}
+				return true
+			})
+			h.close()
+		}()
+	}
+}
+
+func TestFourteenDebug(t *testing.T) {
+	h := newHarness14(t)
+	var all []types.ServerID
+	for i := 0; i < 14; i++ {
+		all = append(all, serverID(i))
+	}
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, id := range all {
+			conf, got := lastRegular(h.events(id))
+			if !got || !types.EqualMembers(conf.Members, all) {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, id := range all {
+		t.Logf("%s: %s", id, h.nodes[id].Debug())
+	}
+	t.Fatal("no convergence")
+}
+
+// newHarness14 builds a 14-node harness with a coarser tick: at this
+// scale the fine-grained test tick saturates small CI hosts (especially
+// under the race detector).
+func newHarness14(t *testing.T) *harness {
+	t.Helper()
+	h := &harness{
+		t:     t,
+		net:   memnet.New(),
+		nodes: make(map[types.ServerID]*Node),
+		logs:  make(map[types.ServerID][]Event),
+	}
+	for i := 0; i < 14; i++ {
+		id := serverID(i)
+		ep, err := h.net.Attach(id)
+		if err != nil {
+			t.Fatalf("attach %s: %v", id, err)
+		}
+		node := NewNode(ep, WithTick(2*time.Millisecond))
+		h.nodes[id] = node
+		h.wg.Add(1)
+		go func(id types.ServerID, node *Node) {
+			defer h.wg.Done()
+			for ev := range node.Events() {
+				h.mu.Lock()
+				h.logs[id] = append(h.logs[id], ev)
+				h.mu.Unlock()
+			}
+		}(id, node)
+	}
+	t.Cleanup(h.close)
+	return h
+}

@@ -1,0 +1,176 @@
+package evs
+
+import (
+	"fmt"
+
+	"evsdb/internal/types"
+)
+
+// msgKind discriminates the wire messages exchanged by EVS nodes.
+type msgKind int
+
+const (
+	kindData msgKind = iota + 1
+	kindOrder
+	kindAck
+	kindStable
+	kindNack
+	kindPropose
+	kindFlushState
+	kindRetransData
+	kindRetransOrder
+	kindFlushDone
+)
+
+func (k msgKind) String() string {
+	switch k {
+	case kindData:
+		return "data"
+	case kindOrder:
+		return "order"
+	case kindAck:
+		return "ack"
+	case kindNack:
+		return "nack"
+	case kindPropose:
+		return "propose"
+	case kindFlushState:
+		return "flushState"
+	case kindRetransData:
+		return "retransData"
+	case kindRetransOrder:
+		return "retransOrder"
+	case kindFlushDone:
+		return "flushDone"
+	default:
+		return fmt.Sprintf("msgKind(%d)", int(k))
+	}
+}
+
+// dataMsg carries one application payload on the sender's per-configuration
+// FIFO stream.
+type dataMsg struct {
+	Conf    types.ConfID   `json:"conf"`
+	Sender  types.ServerID `json:"sender"`
+	LSeq    uint64         `json:"lseq"` // 1-based per-sender local sequence
+	Service ServiceLevel   `json:"service"`
+	Payload []byte         `json:"payload"`
+}
+
+// orderEntry assigns a global sequence number to one data message.
+type orderEntry struct {
+	GSeq   uint64         `json:"gseq"`
+	Sender types.ServerID `json:"sender"`
+	LSeq   uint64         `json:"lseq"`
+}
+
+// orderMsg is the sequencer's batched global-order assignment.
+type orderMsg struct {
+	Conf    types.ConfID `json:"conf"`
+	Entries []orderEntry `json:"entries"`
+}
+
+// ackMsg is a cumulative acknowledgment sent (unicast) to the sequencer:
+// the sender holds the order entry and data payload for every global
+// sequence number <= UpTo. The sequencer aggregates acks into stability
+// announcements, keeping acknowledgment traffic linear instead of
+// quadratic. SentHigh advertises the sender's own data-stream high
+// watermark so tail loss is detectable.
+type ackMsg struct {
+	Conf     types.ConfID `json:"conf"`
+	UpTo     uint64       `json:"upTo"`
+	SentHigh uint64       `json:"sentHigh"`
+}
+
+// stableMsg is the sequencer's stability announcement: every member holds
+// every global sequence number <= UpTo (the SAFE-delivery bound). On the
+// loss-recovery cadence it also carries every member's stream high
+// watermark for tail-loss detection.
+type stableMsg struct {
+	Conf     types.ConfID              `json:"conf"`
+	UpTo     uint64                    `json:"upTo"`
+	SentHigh map[types.ServerID]uint64 `json:"sentHigh,omitempty"`
+}
+
+// nackMsg requests retransmission of specific local sequence numbers from
+// a sender's data stream (Sender set), or of global order entries from
+// the sequencer (Sender empty, GSeqs set).
+type nackMsg struct {
+	Conf   types.ConfID   `json:"conf"`
+	Sender types.ServerID `json:"sender,omitempty"`
+	LSeqs  []uint64       `json:"lseqs,omitempty"`
+	GSeqs  []uint64       `json:"gseqs,omitempty"`
+}
+
+// proposeMsg is the membership-agreement announcement: "I believe the
+// next configuration should contain exactly Members". Agreement is
+// reached when every proposed member proposes an identical set.
+type proposeMsg struct {
+	Members    []types.ServerID `json:"members"`
+	MaxCounter uint64           `json:"maxCounter"` // highest conf counter seen
+}
+
+// holdings summarizes everything a node holds from its previous regular
+// configuration; exchanged during flush so the transitional set can
+// equalize before delivering.
+type holdings struct {
+	// DataCut[s] is the contiguous prefix of s's data stream held.
+	DataCut map[types.ServerID]uint64 `json:"dataCut"`
+	// DataSparse[s] lists held local seqs beyond DataCut[s].
+	DataSparse map[types.ServerID][]uint64 `json:"dataSparse,omitempty"`
+	// OrderCut is the contiguous prefix of global order entries held.
+	OrderCut uint64 `json:"orderCut"`
+	// OrderSparse lists held order entries beyond OrderCut.
+	OrderSparse []orderEntry `json:"orderSparse,omitempty"`
+}
+
+// flushStateMsg announces a node's flush status for a proposed new
+// configuration. It is resent every tick until installation, with
+// holdings updated as retransmissions arrive.
+type flushStateMsg struct {
+	NewConf types.ConfID     `json:"newConf"`
+	Members []types.ServerID `json:"members"`
+	OldConf types.ConfID     `json:"oldConf"`
+	Hold    holdings         `json:"hold"`
+	// StableCut is the highest global seq known stable (acked by every
+	// member of OldConf) before the configuration change.
+	StableCut uint64 `json:"stableCut"`
+	// Synced is set once the node's holdings match the transitional
+	// set's union; installation waits for everyone to sync.
+	Synced bool `json:"synced"`
+}
+
+// retransDataMsg re-multicasts a missing data message during flush.
+type retransDataMsg struct {
+	NewConf types.ConfID `json:"newConf"`
+	Data    dataMsg      `json:"data"`
+}
+
+// retransOrderMsg re-multicasts missing order entries during flush.
+type retransOrderMsg struct {
+	NewConf types.ConfID `json:"newConf"`
+	OldConf types.ConfID `json:"oldConf"`
+	Entries []orderEntry `json:"entries"`
+}
+
+// flushDoneMsg announces the sender has delivered its transitional
+// configuration and is ready to install NewConf.
+type flushDoneMsg struct {
+	NewConf types.ConfID `json:"newConf"`
+}
+
+// wireMsg is the envelope for every datagram. Encoding and decoding live
+// in codec.go (binary for hot-path kinds, JSON for membership kinds).
+type wireMsg struct {
+	Kind         msgKind          `json:"-"`
+	Data         *dataMsg         `json:"data,omitempty"`
+	Order        *orderMsg        `json:"order,omitempty"`
+	Ack          *ackMsg          `json:"ack,omitempty"`
+	Stable       *stableMsg       `json:"stable,omitempty"`
+	Nack         *nackMsg         `json:"nack,omitempty"`
+	Propose      *proposeMsg      `json:"propose,omitempty"`
+	FlushState   *flushStateMsg   `json:"flushState,omitempty"`
+	RetransData  *retransDataMsg  `json:"retransData,omitempty"`
+	RetransOrder *retransOrderMsg `json:"retransOrder,omitempty"`
+	FlushDone    *flushDoneMsg    `json:"flushDone,omitempty"`
+}

@@ -1,0 +1,182 @@
+// Package httpapi exposes a replication engine over HTTP — the client
+// surface of cmd/replica, shared with tests and the Go client library
+// (internal/client).
+//
+// Endpoints:
+//
+//	POST /set?key=k&value=v          strict replicated write
+//	POST /add?key=k&delta=5          commutative increment
+//	POST /tsset?key=k&value=v&ts=9   timestamped write
+//	GET  /get?key=k&level=strict|weak|dirty
+//	GET  /status                     engine state and counters
+//	POST /checkpoint                 compact the WAL
+//	POST /leave                      permanently retire this replica
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"evsdb/internal/core"
+	"evsdb/internal/db"
+	"evsdb/internal/types"
+)
+
+// Status is the JSON shape of GET /status.
+type Status struct {
+	State      string   `json:"state"`
+	Conf       string   `json:"configuration"`
+	GreenCount uint64   `json:"greenCount"`
+	RedCount   int      `json:"redCount"`
+	PrimIndex  uint64   `json:"primIndex"`
+	Vulnerable bool     `json:"vulnerable"`
+	Servers    []string `json:"servers"`
+
+	ActionsGenerated     uint64 `json:"actionsGenerated"`
+	ActionsApplied       uint64 `json:"actionsApplied"`
+	Exchanges            uint64 `json:"exchanges"`
+	PrimariesInstalled   uint64 `json:"primariesInstalled"`
+	ActionsRetransmitted uint64 `json:"actionsRetransmitted"`
+}
+
+// WriteResult is the JSON shape of successful write operations.
+type WriteResult struct {
+	OK       bool   `json:"ok"`
+	GreenSeq uint64 `json:"greenSeq"`
+}
+
+// ReadResult is the JSON shape of GET /get (mirrors db.Result).
+type ReadResult struct {
+	Found   bool   `json:"found"`
+	Value   string `json:"value,omitempty"`
+	Version uint64 `json:"version"`
+	Dirty   bool   `json:"dirty"`
+}
+
+// Config tunes the handler.
+type Config struct {
+	// Timeout bounds each replicated operation. Default 30s.
+	Timeout time.Duration
+}
+
+// New builds the HTTP handler for one engine.
+func New(eng *core.Engine, cfg Config) http.Handler {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	mux := http.NewServeMux()
+
+	submit := func(w http.ResponseWriter, r *http.Request, update []byte, sem types.Semantics) {
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
+		defer cancel()
+		reply, err := eng.Submit(ctx, update, nil, sem)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if reply.Err != "" {
+			http.Error(w, reply.Err, http.StatusConflict)
+			return
+		}
+		writeJSON(w, WriteResult{OK: true, GreenSeq: reply.GreenSeq})
+	}
+
+	mux.HandleFunc("POST /set", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		submit(w, r, db.EncodeUpdate(db.Set(q.Get("key"), q.Get("value"))), types.SemStrict)
+	})
+	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		delta, err := strconv.ParseInt(q.Get("delta"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad delta", http.StatusBadRequest)
+			return
+		}
+		submit(w, r, db.EncodeUpdate(db.Add(q.Get("key"), delta)), types.SemCommutative)
+	})
+	mux.HandleFunc("POST /tsset", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		ts, err := strconv.ParseInt(q.Get("ts"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad ts", http.StatusBadRequest)
+			return
+		}
+		submit(w, r, db.EncodeUpdate(db.TSSet(q.Get("key"), q.Get("value"), ts)), types.SemTimestamp)
+	})
+	mux.HandleFunc("GET /get", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		level := core.QueryWeak
+		switch q.Get("level") {
+		case "strict":
+			level = core.QueryStrict
+		case "dirty":
+			level = core.QueryDirty
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
+		defer cancel()
+		res, err := eng.Query(ctx, db.Get(q.Get("key")), level)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, ReadResult{
+			Found:   res.Found,
+			Value:   res.Value,
+			Version: res.Version,
+			Dirty:   res.Dirty,
+		})
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, StatusView(eng.Status()))
+	})
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
+		defer cancel()
+		if err := eng.Checkpoint(ctx); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("POST /leave", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
+		defer cancel()
+		if err := eng.Leave(ctx); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "leaving"})
+	})
+	return mux
+}
+
+// StatusView converts an engine status to the wire shape.
+func StatusView(st core.Status) Status {
+	servers := make([]string, len(st.ServerSet))
+	for i, s := range st.ServerSet {
+		servers[i] = string(s)
+	}
+	return Status{
+		State:      st.State.String(),
+		Conf:       st.Conf.String(),
+		GreenCount: st.GreenCount,
+		RedCount:   st.RedCount,
+		PrimIndex:  st.Prim.PrimIndex,
+		Vulnerable: st.Vulnerable,
+		Servers:    servers,
+
+		ActionsGenerated:     st.Metrics.Generated,
+		ActionsApplied:       st.Metrics.Applied,
+		Exchanges:            st.Metrics.Exchanges,
+		PrimariesInstalled:   st.Metrics.Installs,
+		ActionsRetransmitted: st.Metrics.Retransmitted,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,79 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"evsdb/internal/cluster"
+	"evsdb/internal/storage"
+)
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	c, err := cluster.New(1, cluster.WithSyncPolicy(storage.SyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ids := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, ids...); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(c.Replica(ids[0]).Engine, Config{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	srv := newServer(t)
+	for _, tc := range []struct {
+		name, method, path string
+		want               int
+	}{
+		{"bad delta", http.MethodPost, "/add?key=k&delta=NaN", http.StatusBadRequest},
+		{"bad ts", http.MethodPost, "/tsset?key=k&value=v&ts=xx", http.StatusBadRequest},
+		{"wrong method", http.MethodGet, "/set?key=k&value=v", http.StatusMethodNotAllowed},
+		{"unknown route", http.MethodGet, "/nope", http.StatusNotFound},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := srv.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s: %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+func TestStatusShape(t *testing.T) {
+	srv := newServer(t)
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("content type %q", got)
+	}
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	srv := newServer(t)
+	resp, err := srv.Client().Post(srv.URL+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,72 @@
+package queue
+
+import "sync"
+
+// Unbounded is a FIFO queue with blocking Pop and non-blocking Push,
+// safe for concurrent use. The group communication layer must never block
+// a sender on a slow receiver (that would deadlock the event loops), so
+// inboxes are unbounded; back-pressure is applied at the protocol layer
+// (closed-loop clients, window-free sequencer).
+type Unbounded[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+// NewUnbounded returns an empty open queue.
+func NewUnbounded[T any]() *Unbounded[T] {
+	q := &Unbounded[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends an item. Pushing to a closed queue is a no-op.
+func (q *Unbounded[T]) Push(item T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, item)
+	q.cond.Signal()
+}
+
+// Pop removes and returns the oldest item, blocking until one is
+// available. ok is false when the queue is closed and drained.
+func (q *Unbounded[T]) Pop() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.items[0]
+	// Avoid retaining the popped element.
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Close marks the queue closed and wakes all blocked Pops. Items already
+// queued are still drained by subsequent Pops.
+func (q *Unbounded[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Len returns the number of queued items.
+func (q *Unbounded[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,125 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFIFO(t *testing.T) {
+	q := NewUnbounded[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	q := NewUnbounded[string]()
+	done := make(chan string)
+	go func() {
+		v, _ := q.Pop()
+		done <- v
+	}()
+	q.Push("x")
+	if got := <-done; got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCloseDrainsThenEnds(t *testing.T) {
+	q := NewUnbounded[int]()
+	q.Push(1)
+	q.Push(2)
+	q.Close()
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("first pop after close: %d %v", v, ok)
+	}
+	if v, ok := q.Pop(); !ok || v != 2 {
+		t.Fatalf("second pop after close: %d %v", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on drained closed queue reported ok")
+	}
+}
+
+func TestPushAfterCloseIsDropped(t *testing.T) {
+	q := NewUnbounded[int]()
+	q.Close()
+	q.Push(7)
+	if _, ok := q.Pop(); ok {
+		t.Fatal("push after close was accepted")
+	}
+}
+
+func TestCloseWakesBlockedPop(t *testing.T) {
+	q := NewUnbounded[int]()
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("blocked pop returned ok after close")
+	}
+}
+
+func TestConcurrentProducersConsumeAll(t *testing.T) {
+	q := NewUnbounded[int]()
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*perProducer)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d of %d items", len(seen), producers*perProducer)
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := NewUnbounded[int]()
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	q.Push(1)
+	q.Push(2)
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Fatalf("len = %d, want 1", q.Len())
+	}
+}

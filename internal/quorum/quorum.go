@@ -1,0 +1,110 @@
+// Package quorum implements the primary-component selection rules used by
+// the replication engine.
+//
+// The paper uses dynamic linear voting (Jajodia & Mutchler, TODS 1990):
+// the component containing a (weighted) majority of the *last primary
+// component* becomes the new primary. A static majority rule over the
+// full server set is provided for comparison; the ablation benchmark
+// shows why the paper chose DLV (availability under shrinking
+// partitions).
+package quorum
+
+import (
+	"evsdb/internal/types"
+)
+
+// System decides whether a connected component may install the next
+// primary component.
+type System interface {
+	// IsQuorum reports whether members (the current component) may form
+	// the next primary, given the membership of the last installed
+	// primary component.
+	IsQuorum(members, lastPrimary []types.ServerID) bool
+	// Name identifies the rule in logs and benchmarks.
+	Name() string
+}
+
+// DynamicLinear is weighted dynamic linear voting: a component qualifies
+// when it holds a strict weighted majority of the previous primary
+// component's membership.
+type DynamicLinear struct {
+	// Weights assigns voting weight per server; absent ids weigh 1.
+	Weights map[types.ServerID]int
+}
+
+var _ System = DynamicLinear{}
+
+// Name implements System.
+func (DynamicLinear) Name() string { return "dynamic-linear-voting" }
+
+// IsQuorum implements System.
+func (d DynamicLinear) IsQuorum(members, lastPrimary []types.ServerID) bool {
+	if len(lastPrimary) == 0 {
+		// Bootstrap: no primary has ever been installed. Require the
+		// component to contain a majority of itself — trivially true for
+		// any non-empty component; the engine restricts bootstrap to the
+		// full initial server set via its configuration.
+		return len(members) > 0
+	}
+	total := 0
+	have := 0
+	in := make(map[types.ServerID]bool, len(members))
+	for _, m := range members {
+		in[m] = true
+	}
+	for _, p := range lastPrimary {
+		w := d.weight(p)
+		total += w
+		if in[p] {
+			have += w
+		}
+	}
+	return 2*have > total
+}
+
+func (d DynamicLinear) weight(id types.ServerID) int {
+	if w, ok := d.Weights[id]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// StaticMajority requires a weighted majority of a fixed server set,
+// regardless of history. Simpler, but a sequence of shrinking partitions
+// that DLV would survive makes the system unavailable.
+type StaticMajority struct {
+	// All is the fixed universe of servers.
+	All []types.ServerID
+	// Weights assigns voting weight per server; absent ids weigh 1.
+	Weights map[types.ServerID]int
+}
+
+var _ System = StaticMajority{}
+
+// Name implements System.
+func (StaticMajority) Name() string { return "static-majority" }
+
+// IsQuorum implements System.
+func (s StaticMajority) IsQuorum(members, _ []types.ServerID) bool {
+	total := 0
+	have := 0
+	in := make(map[types.ServerID]bool, len(members))
+	for _, m := range members {
+		in[m] = true
+	}
+	for _, a := range s.All {
+		w := s.weight(a)
+		total += w
+		if in[a] {
+			have += w
+		}
+	}
+	return 2*have > total
+}
+
+func (s StaticMajority) weight(id types.ServerID) int {
+	if w, ok := s.Weights[id]; ok && w > 0 {
+		return w
+	}
+	return 1
+}

@@ -1,0 +1,172 @@
+package quorum
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"evsdb/internal/types"
+)
+
+func ids(names ...string) []types.ServerID {
+	out := make([]types.ServerID, len(names))
+	for i, n := range names {
+		out[i] = types.ServerID(n)
+	}
+	return out
+}
+
+func TestDynamicLinearMajorityOfLastPrimary(t *testing.T) {
+	d := DynamicLinear{}
+	last := ids("a", "b", "c", "d", "e")
+	tests := []struct {
+		name    string
+		members []types.ServerID
+		want    bool
+	}{
+		{"3 of 5", ids("a", "b", "c"), true},
+		{"2 of 5", ids("a", "b"), false},
+		{"exactly half of 4 is not quorum", nil, false}, // placeholder, replaced below
+		{"all", last, true},
+		{"none overlapping", ids("x", "y", "z"), false},
+		{"3 of 5 plus outsiders", ids("a", "b", "c", "x", "y"), true},
+	}
+	tests[2] = struct {
+		name    string
+		members []types.ServerID
+		want    bool
+	}{"half exactly", ids("a", "b"), false}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := d.IsQuorum(tt.members, last); got != tt.want {
+				t.Fatalf("IsQuorum(%v) = %v, want %v", tt.members, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDynamicLinearEvenSplit(t *testing.T) {
+	d := DynamicLinear{}
+	last := ids("a", "b", "c", "d")
+	if d.IsQuorum(ids("a", "b"), last) {
+		t.Fatal("2 of 4 must not be a quorum (strict majority)")
+	}
+	if !d.IsQuorum(ids("a", "b", "c"), last) {
+		t.Fatal("3 of 4 must be a quorum")
+	}
+}
+
+func TestDynamicLinearWeights(t *testing.T) {
+	d := DynamicLinear{Weights: map[types.ServerID]int{"a": 3}}
+	last := ids("a", "b", "c") // total weight 5
+	if !d.IsQuorum(ids("a"), last) {
+		t.Fatal("weight-3 member alone should be a quorum of weight-5 set")
+	}
+	if d.IsQuorum(ids("b", "c"), last) {
+		t.Fatal("weight-2 pair should not be a quorum of weight-5 set")
+	}
+}
+
+// TestAtMostOnePrimary is the safety property: for ANY partition of the
+// last primary into disjoint components, at most one component qualifies.
+func TestAtMostOnePrimary(t *testing.T) {
+	systems := []System{
+		DynamicLinear{},
+		DynamicLinear{Weights: map[types.ServerID]int{"s0": 2, "s3": 3}},
+		StaticMajority{All: ids("s0", "s1", "s2", "s3", "s4", "s5", "s6")},
+	}
+	last := ids("s0", "s1", "s2", "s3", "s4", "s5", "s6")
+	prop := func(assign []uint8) bool {
+		// Partition the 7 servers into up to 4 components.
+		comps := make([][]types.ServerID, 4)
+		for i, s := range last {
+			g := 0
+			if i < len(assign) {
+				g = int(assign[i]) % 4
+			}
+			comps[g] = append(comps[g], s)
+		}
+		for _, sys := range systems {
+			quorums := 0
+			for _, c := range comps {
+				if len(c) > 0 && sys.IsQuorum(c, last) {
+					quorums++
+				}
+			}
+			if quorums > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDLVSurvivesShrinkingPartitions shows the availability property the
+// paper chose DLV for: after each re-formed primary, a majority OF THAT
+// primary suffices — a cascade static majority cannot survive.
+func TestDLVSurvivesShrinkingPartitions(t *testing.T) {
+	d := DynamicLinear{}
+	s := StaticMajority{All: ids("a", "b", "c", "d", "e")}
+
+	// Round 1: {a,b,c} is 3 of 5 — both rules allow it.
+	last := ids("a", "b", "c", "d", "e")
+	comp := ids("a", "b", "c")
+	if !d.IsQuorum(comp, last) || !s.IsQuorum(comp, last) {
+		t.Fatal("round 1 should qualify under both rules")
+	}
+
+	// Round 2: that primary partitions again; {a,b} is 2 of 3 for DLV
+	// but only 2 of 5 statically.
+	last = comp
+	comp = ids("a", "b")
+	if !d.IsQuorum(comp, last) {
+		t.Fatal("DLV should allow 2 of 3")
+	}
+	if s.IsQuorum(comp, last) {
+		t.Fatal("static majority should refuse 2 of 5")
+	}
+}
+
+func TestBootstrapEmptyLastPrimary(t *testing.T) {
+	d := DynamicLinear{}
+	if !d.IsQuorum(ids("a"), nil) {
+		t.Fatal("bootstrap with no prior primary should pass (engine restricts via initial set)")
+	}
+	if d.IsQuorum(nil, nil) {
+		t.Fatal("empty component can never be a quorum")
+	}
+}
+
+func TestStaticMajorityWeights(t *testing.T) {
+	s := StaticMajority{
+		All:     ids("a", "b", "c"),
+		Weights: map[types.ServerID]int{"c": 10},
+	}
+	if s.IsQuorum(ids("a", "b"), nil) {
+		t.Fatal("a+b weigh 2 of 12")
+	}
+	if !s.IsQuorum(ids("c"), nil) {
+		t.Fatal("c weighs 10 of 12")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, sys := range []System{DynamicLinear{}, StaticMajority{}} {
+		if sys.Name() == "" {
+			t.Fatalf("%T has empty name", sys)
+		}
+	}
+}
+
+func ExampleDynamicLinear() {
+	d := DynamicLinear{}
+	last := []types.ServerID{"a", "b", "c", "d", "e"}
+	fmt.Println(d.IsQuorum([]types.ServerID{"a", "b", "c"}, last))
+	fmt.Println(d.IsQuorum([]types.ServerID{"d", "e"}, last))
+	// Output:
+	// true
+	// false
+}

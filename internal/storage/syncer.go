@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"sync"
+
+	"evsdb/internal/queue"
+)
+
+// AsyncSyncer decouples protocol loops from forced-write latency: a loop
+// appends records, then schedules a callback to run once everything
+// appended so far is durable. A single writer goroutine drains pending
+// callbacks, performs one Sync (group commit) per batch, and runs the
+// callbacks in FIFO order.
+//
+// Callbacks run on the writer goroutine; they must only touch thread-safe
+// state (send on the network, close a client channel, bump an atomic).
+type AsyncSyncer struct {
+	log Log
+	q   *queue.Unbounded[taggedFn]
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+type taggedFn struct {
+	tag string
+	fn  func()
+}
+
+// NewAsyncSyncer starts the writer goroutine.
+func NewAsyncSyncer(log Log) *AsyncSyncer {
+	s := &AsyncSyncer{
+		log:  log,
+		q:    queue.NewUnbounded[taggedFn](),
+		done: make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// After schedules fn to run once all records appended to the log before
+// this call are durable. Callbacks run in FIFO order.
+func (s *AsyncSyncer) After(fn func()) {
+	s.q.Push(taggedFn{fn: fn})
+}
+
+// AfterTagged is After with coalescing: if several callbacks with the
+// same tag land in one sync batch, only the newest runs. Use for
+// cumulative notifications (acknowledgment bounds) where the latest
+// subsumes the rest — the natural pairing with group commit.
+func (s *AsyncSyncer) AfterTagged(tag string, fn func()) {
+	s.q.Push(taggedFn{tag: tag, fn: fn})
+}
+
+// Close stops the writer after draining scheduled callbacks.
+func (s *AsyncSyncer) Close() {
+	s.stopOnce.Do(func() { s.q.Close() })
+	<-s.done
+}
+
+func (s *AsyncSyncer) run() {
+	defer close(s.done)
+	for {
+		first, ok := s.q.Pop()
+		if !ok {
+			return
+		}
+		batch := []taggedFn{first}
+		for s.q.Len() > 0 {
+			next, ok := s.q.Pop()
+			if !ok {
+				break
+			}
+			batch = append(batch, next)
+		}
+		_ = s.log.Sync() // one forced write covers the whole batch
+		// Coalesce tagged callbacks: only the newest per tag runs.
+		var lastByTag map[string]int
+		for i, t := range batch {
+			if t.tag == "" {
+				continue
+			}
+			if lastByTag == nil {
+				lastByTag = make(map[string]int)
+			}
+			lastByTag[t.tag] = i
+		}
+		for i, t := range batch {
+			if t.tag != "" && lastByTag[t.tag] != i {
+				continue
+			}
+			t.fn()
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package memnet provides an in-process, partitionable network that
+// implements transport.Node.
+//
+// It is the test and benchmark substrate standing in for the paper's
+// 100 Mb/s LAN: links have configurable latency and loss, the network can
+// be partitioned into disjoint components and healed, and endpoints can
+// crash and later recover under the same identifier. Connectivity is
+// symmetric and transitive (a partition is a set of disjoint groups),
+// matching the paper's model of components.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evsdb/internal/queue"
+	"evsdb/internal/transport"
+	"evsdb/internal/types"
+)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets a constant one-way link latency. Zero (the default)
+// delivers synchronously, preserving per-pair FIFO trivially.
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) { n.latency = d }
+}
+
+// WithLoss sets an independent per-datagram loss probability in [0, 1).
+// The group communication layer recovers lost datagrams via NACKs and
+// periodic retransmission, so loss trades latency, not correctness.
+func WithLoss(p float64) Option {
+	return func(n *Network) { n.loss = p }
+}
+
+// WithSeed seeds the loss RNG for reproducible runs.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// Stats counts network operations. A multicast over a broadcast medium is
+// one operation regardless of fan-out, matching the paper's cost model
+// ("one multicast message per action" vs "2n unicast messages").
+type Stats struct {
+	UnicastOps   uint64
+	MulticastOps uint64
+	Datagrams    uint64 // individual deliveries attempted (before loss)
+	Dropped      uint64 // deliveries suppressed by loss or disconnection
+	Bytes        uint64
+}
+
+// Network is a collection of endpoints with controllable connectivity.
+type Network struct {
+	latency time.Duration
+	loss    float64
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[types.ServerID]*Endpoint
+	group     map[types.ServerID]int
+	nextGroup int
+
+	unicastOps   atomic.Uint64
+	multicastOps atomic.Uint64
+	datagrams    atomic.Uint64
+	dropped      atomic.Uint64
+	bytes        atomic.Uint64
+}
+
+// New creates an empty network.
+func New(opts ...Option) *Network {
+	n := &Network{
+		endpoints: make(map[types.ServerID]*Endpoint),
+		group:     make(map[types.ServerID]int),
+		rng:       rand.New(rand.NewSource(1)),
+		nextGroup: 1,
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Attach creates an endpoint for id. Attaching an id that is already
+// attached and alive is an error; recovering a crashed id yields a fresh
+// endpoint.
+func (n *Network) Attach(id types.ServerID) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok && !ep.closed.Load() {
+		return nil, fmt.Errorf("memnet: endpoint %q already attached", id)
+	}
+	ep := &Endpoint{
+		id:      id,
+		net:     n,
+		inbox:   queue.NewUnbounded[delivery](),
+		recvCh:  make(chan transport.Message),
+		changes: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go ep.pump()
+	n.endpoints[id] = ep
+	if _, ok := n.group[id]; !ok {
+		n.group[id] = 0
+	}
+	n.notifyAllLocked()
+	return ep, nil
+}
+
+// Crash detaches the endpoint abruptly: in-flight and queued messages to
+// it are dropped and its Recv channel closes. The id may later Recover.
+func (n *Network) Crash(id types.ServerID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
+}
+
+// Recover re-attaches a previously crashed id with an empty inbox.
+func (n *Network) Recover(id types.ServerID) (*Endpoint, error) {
+	return n.Attach(id)
+}
+
+// Partition splits the network into the given disjoint groups. Endpoints
+// not listed in any group are isolated in singleton components. Panics on
+// an id that appears twice.
+func (n *Network) Partition(groups ...[]types.ServerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	assigned := make(map[types.ServerID]int)
+	for _, g := range groups {
+		n.nextGroup++
+		num := n.nextGroup
+		for _, id := range g {
+			if _, dup := assigned[id]; dup {
+				panic(fmt.Sprintf("memnet: id %q in two partition groups", id))
+			}
+			assigned[id] = num
+		}
+	}
+	for id := range n.group {
+		num, ok := assigned[id]
+		if !ok {
+			n.nextGroup++
+			num = n.nextGroup
+		}
+		n.group[id] = num
+	}
+	n.notifyAllLocked()
+}
+
+// Heal merges all components back into a single connected network.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.group {
+		n.group[id] = 0
+	}
+	n.notifyAllLocked()
+}
+
+// Stats returns a snapshot of the operation counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		UnicastOps:   n.unicastOps.Load(),
+		MulticastOps: n.multicastOps.Load(),
+		Datagrams:    n.datagrams.Load(),
+		Dropped:      n.dropped.Load(),
+		Bytes:        n.bytes.Load(),
+	}
+}
+
+// notifyAllLocked pokes every endpoint's change channel.
+func (n *Network) notifyAllLocked() {
+	for _, ep := range n.endpoints {
+		if !ep.closed.Load() {
+			select {
+			case ep.changes <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// connectedLocked reports whether a and b are alive and in one component.
+func (n *Network) connectedLocked(a, b types.ServerID) bool {
+	epA, okA := n.endpoints[a]
+	epB, okB := n.endpoints[b]
+	if !okA || !okB || epA.closed.Load() || epB.closed.Load() {
+		return false
+	}
+	return n.group[a] == n.group[b]
+}
+
+// deliver enqueues payload for dst if connected and not lost.
+func (n *Network) deliver(src, dst types.ServerID, payload []byte) {
+	n.mu.Lock()
+	n.datagrams.Add(1)
+	if !n.connectedLocked(src, dst) {
+		n.dropped.Add(1)
+		n.mu.Unlock()
+		return
+	}
+	// Self-delivery is a local loopback: never lossy.
+	if src != dst && n.loss > 0 && n.rng.Float64() < n.loss {
+		n.dropped.Add(1)
+		n.mu.Unlock()
+		return
+	}
+	ep := n.endpoints[dst]
+	n.mu.Unlock()
+
+	// The payload buffer is shared across recipients of a multicast;
+	// transport consumers treat received payloads as read-only.
+	ep.inbox.Push(delivery{
+		msg: transport.Message{From: src, Payload: payload},
+		at:  time.Now().Add(n.latency),
+	})
+}
+
+type delivery struct {
+	msg transport.Message
+	at  time.Time
+}
+
+// Endpoint is one attachment to a Network.
+type Endpoint struct {
+	id      types.ServerID
+	net     *Network
+	inbox   *queue.Unbounded[delivery]
+	recvCh  chan transport.Message
+	changes chan struct{}
+	done    chan struct{}
+	closed  atomic.Bool
+}
+
+var _ transport.Node = (*Endpoint)(nil)
+
+// pump moves inbox entries to the receive channel, honoring per-message
+// delivery times (constant latency keeps FIFO order per sender).
+func (ep *Endpoint) pump() {
+	defer close(ep.recvCh)
+	for {
+		d, ok := ep.inbox.Pop()
+		if !ok {
+			return
+		}
+		if wait := time.Until(d.at); wait > 0 {
+			time.Sleep(wait)
+		}
+		select {
+		case ep.recvCh <- d.msg:
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// ID implements transport.Node.
+func (ep *Endpoint) ID() types.ServerID { return ep.id }
+
+// Send implements transport.Node.
+func (ep *Endpoint) Send(to types.ServerID, payload []byte) error {
+	if ep.closed.Load() {
+		return transport.ErrClosed
+	}
+	ep.net.unicastOps.Add(1)
+	ep.net.bytes.Add(uint64(len(payload)))
+	ep.net.deliver(ep.id, to, append([]byte(nil), payload...))
+	return nil
+}
+
+// Multicast implements transport.Node: a single broadcast-medium
+// operation fanned out to every destination (self included if listed).
+func (ep *Endpoint) Multicast(to []types.ServerID, payload []byte) error {
+	if ep.closed.Load() {
+		return transport.ErrClosed
+	}
+	ep.net.multicastOps.Add(1)
+	ep.net.bytes.Add(uint64(len(payload)))
+	buf := append([]byte(nil), payload...) // one copy shared by all recipients
+	for _, dst := range to {
+		ep.net.deliver(ep.id, dst, buf)
+	}
+	return nil
+}
+
+// Recv implements transport.Node.
+func (ep *Endpoint) Recv() <-chan transport.Message { return ep.recvCh }
+
+// Reachable implements transport.Node: all alive endpoints in this
+// endpoint's component, in canonical order.
+func (ep *Endpoint) Reachable() []types.ServerID {
+	ep.net.mu.Lock()
+	defer ep.net.mu.Unlock()
+	if ep.closed.Load() {
+		return nil
+	}
+	mine := ep.net.group[ep.id]
+	var out []types.ServerID
+	for id, other := range ep.net.endpoints {
+		if !other.closed.Load() && ep.net.group[id] == mine {
+			out = append(out, id)
+		}
+	}
+	return types.SortServerIDs(out)
+}
+
+// Changes implements transport.Node.
+func (ep *Endpoint) Changes() <-chan struct{} { return ep.changes }
+
+// Close implements transport.Node. It marks the endpoint crashed,
+// detaches it from the network and closes the receive channel.
+func (ep *Endpoint) Close() error {
+	if ep.closed.Swap(true) {
+		return nil
+	}
+	close(ep.done)
+	ep.inbox.Close()
+	ep.net.mu.Lock()
+	if ep.net.endpoints[ep.id] == ep {
+		delete(ep.net.endpoints, ep.id)
+	}
+	ep.net.notifyAllLocked()
+	ep.net.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,204 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"evsdb/internal/types"
+)
+
+func attach(t *testing.T, n *Network, id types.ServerID) *Endpoint {
+	t.Helper()
+	ep, err := n.Attach(id)
+	if err != nil {
+		t.Fatalf("attach %s: %v", id, err)
+	}
+	return ep
+}
+
+func recvOne(t *testing.T, ep *Endpoint) (types.ServerID, string) {
+	t.Helper()
+	select {
+	case m := <-ep.Recv():
+		return m.From, string(m.Payload)
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return "", ""
+	}
+}
+
+func TestUnicastDelivers(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	b := attach(t, n, "b")
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	from, payload := recvOne(t, b)
+	if from != "a" || payload != "hi" {
+		t.Fatalf("got %s %q", from, payload)
+	}
+}
+
+func TestPerPairFIFO(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	b := attach(t, n, "b")
+	for i := byte(0); i < 100; i++ {
+		_ = a.Send("b", []byte{i})
+	}
+	for i := byte(0); i < 100; i++ {
+		_, payload := recvOne(t, b)
+		if payload[0] != i {
+			t.Fatalf("out of order at %d: got %d", i, payload[0])
+		}
+	}
+}
+
+func TestMulticastCountsOneOp(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	attach(t, n, "b")
+	attach(t, n, "c")
+	_ = a.Multicast([]types.ServerID{"a", "b", "c"}, []byte("x"))
+	st := n.Stats()
+	if st.MulticastOps != 1 {
+		t.Fatalf("multicast ops = %d", st.MulticastOps)
+	}
+	if st.Datagrams != 3 {
+		t.Fatalf("datagrams = %d", st.Datagrams)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	_ = a.Send("a", []byte("self"))
+	from, payload := recvOne(t, a)
+	if from != "a" || payload != "self" {
+		t.Fatalf("self delivery: %s %q", from, payload)
+	}
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	b := attach(t, n, "b")
+	n.Partition([]types.ServerID{"a"}, []types.ServerID{"b"})
+	_ = a.Send("b", []byte("dropped"))
+	if got := n.Stats().Dropped; got != 1 {
+		t.Fatalf("dropped = %d", got)
+	}
+	n.Heal()
+	_ = a.Send("b", []byte("delivered"))
+	_, payload := recvOne(t, b)
+	if payload != "delivered" {
+		t.Fatalf("got %q", payload)
+	}
+}
+
+func TestReachableTracksPartition(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	attach(t, n, "b")
+	attach(t, n, "c")
+	if got := a.Reachable(); len(got) != 3 {
+		t.Fatalf("reachable = %v", got)
+	}
+	n.Partition([]types.ServerID{"a", "b"}, []types.ServerID{"c"})
+	got := a.Reachable()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("reachable after partition = %v", got)
+	}
+}
+
+func TestChangesSignalOnPartition(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	attach(t, n, "b")
+	// Drain any attach-time signal.
+	select {
+	case <-a.Changes():
+	default:
+	}
+	n.Partition([]types.ServerID{"a"}, []types.ServerID{"b"})
+	select {
+	case <-a.Changes():
+	case <-time.After(time.Second):
+		t.Fatal("no change signal after partition")
+	}
+}
+
+func TestCrashClosesRecvAndRecoverWorks(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	b := attach(t, n, "b")
+	n.Crash("b")
+	select {
+	case _, ok := <-b.Recv():
+		if ok {
+			t.Fatal("received after crash")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("recv channel not closed on crash")
+	}
+	if err := a.Send("b", []byte("void")); err != nil {
+		t.Fatal(err) // send succeeds, delivery drops
+	}
+	b2, err := n.Recover("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Send("b", []byte("back"))
+	_, payload := recvOne(t, b2)
+	if payload != "back" {
+		t.Fatalf("got %q", payload)
+	}
+}
+
+func TestDoubleAttachRejected(t *testing.T) {
+	n := New()
+	attach(t, n, "a")
+	if _, err := n.Attach("a"); err == nil {
+		t.Fatal("double attach succeeded")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(WithLatency(30 * time.Millisecond))
+	a := attach(t, n, "a")
+	b := attach(t, n, "b")
+	start := time.Now()
+	_ = a.Send("b", []byte("slow"))
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered too fast: %v", elapsed)
+	}
+}
+
+func TestLossDropsButNeverSelf(t *testing.T) {
+	n := New(WithLoss(1.0), WithSeed(1)) // drop everything (except loopback)
+	a := attach(t, n, "a")
+	attach(t, n, "b")
+	_ = a.Send("b", []byte("gone"))
+	_ = a.Send("a", []byte("kept"))
+	_, payload := recvOne(t, a)
+	if payload != "kept" {
+		t.Fatalf("self delivery lost: %q", payload)
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d", n.Stats().Dropped)
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	n := New()
+	a := attach(t, n, "a")
+	_ = a.Close()
+	if err := a.Send("a", nil); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	if err := a.Multicast([]types.ServerID{"a"}, nil); err == nil {
+		t.Fatal("multicast after close succeeded")
+	}
+}

@@ -1,0 +1,402 @@
+// Package tcpnet implements transport.Node over TCP sockets for real
+// multi-process deployments (cmd/replica).
+//
+// Every node listens on one address and dials every peer; frames are
+// length-prefixed. Reachability is heartbeat-based: a peer is live while
+// frames (heartbeats count) keep arriving within the failure timeout.
+// TCP gives per-pair FIFO and reliable delivery while connected; the EVS
+// layer above handles everything else.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"evsdb/internal/queue"
+	"evsdb/internal/transport"
+	"evsdb/internal/types"
+)
+
+// Config assembles a TCP transport node.
+type Config struct {
+	// ID is this node's server identifier.
+	ID types.ServerID
+	// Listen is the local listen address (host:port).
+	Listen string
+	// Peers maps every other server id to its listen address.
+	Peers map[types.ServerID]string
+	// Heartbeat is the keepalive send interval. Default 250ms.
+	Heartbeat time.Duration
+	// FailAfter marks a peer unreachable when nothing arrived for this
+	// long. Default 4 * Heartbeat.
+	FailAfter time.Duration
+	// Dial overrides the dialer (tests). Default net.Dialer with timeout.
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 250 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 4 * c.Heartbeat
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}
+	}
+	return c
+}
+
+const maxFrame = 64 << 20 // 64 MiB sanity cap
+
+// Node is one TCP transport endpoint.
+type Node struct {
+	cfg Config
+	ln  net.Listener
+
+	inbox   *queue.Unbounded[transport.Message]
+	recvCh  chan transport.Message
+	changes chan struct{}
+
+	mu       sync.Mutex
+	outbox   map[types.ServerID]*peerConn
+	accepted map[net.Conn]bool
+	lastSeen map[types.ServerID]time.Time
+	live     map[types.ServerID]bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+var _ transport.Node = (*Node)(nil)
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// New starts listening and begins dialing peers.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, errors.New("tcpnet: config needs an ID")
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", cfg.Listen, err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		ln:       ln,
+		inbox:    queue.NewUnbounded[transport.Message](),
+		recvCh:   make(chan transport.Message),
+		changes:  make(chan struct{}, 1),
+		outbox:   make(map[types.ServerID]*peerConn),
+		accepted: make(map[net.Conn]bool),
+		lastSeen: make(map[types.ServerID]time.Time),
+		live:     make(map[types.ServerID]bool),
+		stop:     make(chan struct{}),
+	}
+	n.wg.Add(3)
+	go n.acceptLoop()
+	go n.pump()
+	go n.heartbeatLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID implements transport.Node.
+func (n *Node) ID() types.ServerID { return n.cfg.ID }
+
+// Recv implements transport.Node.
+func (n *Node) Recv() <-chan transport.Message { return n.recvCh }
+
+// Changes implements transport.Node.
+func (n *Node) Changes() <-chan struct{} { return n.changes }
+
+// Reachable implements transport.Node.
+func (n *Node) Reachable() []types.ServerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := []types.ServerID{n.cfg.ID}
+	for id, ok := range n.live {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return types.SortServerIDs(out)
+}
+
+// Send implements transport.Node.
+func (n *Node) Send(to types.ServerID, payload []byte) error {
+	select {
+	case <-n.stop:
+		return transport.ErrClosed
+	default:
+	}
+	if to == n.cfg.ID {
+		n.inbox.Push(transport.Message{From: n.cfg.ID, Payload: append([]byte(nil), payload...)})
+		return nil
+	}
+	pc := n.peer(to)
+	if pc == nil {
+		return nil // best effort: unknown or unreachable peer
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		return nil
+	}
+	if err := writeFrame(pc.conn, payload); err != nil {
+		_ = pc.conn.Close()
+		pc.conn = nil
+	}
+	return nil
+}
+
+// Multicast implements transport.Node (point-to-point fan-out).
+func (n *Node) Multicast(to []types.ServerID, payload []byte) error {
+	for _, dst := range to {
+		if err := n.Send(dst, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements transport.Node.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		_ = n.ln.Close()
+		n.mu.Lock()
+		for _, pc := range n.outbox {
+			pc.mu.Lock()
+			if pc.conn != nil {
+				_ = pc.conn.Close()
+			}
+			pc.mu.Unlock()
+		}
+		for conn := range n.accepted {
+			_ = conn.Close()
+		}
+		n.mu.Unlock()
+		n.inbox.Close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// peer returns the (possibly freshly dialed) outgoing connection holder.
+func (n *Node) peer(id types.ServerID) *peerConn {
+	n.mu.Lock()
+	pc, ok := n.outbox[id]
+	if !ok {
+		addr, known := n.cfg.Peers[id]
+		if !known {
+			n.mu.Unlock()
+			return nil
+		}
+		pc = &peerConn{}
+		n.outbox[id] = pc
+		n.mu.Unlock()
+		n.redial(pc, id, addr)
+		return pc
+	}
+	n.mu.Unlock()
+	pc.mu.Lock()
+	dead := pc.conn == nil
+	pc.mu.Unlock()
+	if dead {
+		if addr, known := n.cfg.Peers[id]; known {
+			n.redial(pc, id, addr)
+		}
+	}
+	return pc
+}
+
+// redial attempts one connection establishment, sending the hello frame.
+func (n *Node) redial(pc *peerConn, id types.ServerID, addr string) {
+	conn, err := n.cfg.Dial(addr)
+	if err != nil {
+		return
+	}
+	if err := writeFrame(conn, append([]byte("HELO"), n.cfg.ID...)); err != nil {
+		_ = conn.Close()
+		return
+	}
+	pc.mu.Lock()
+	if pc.conn != nil {
+		_ = conn.Close() // lost the race; keep the existing connection
+	} else {
+		pc.conn = conn
+	}
+	pc.mu.Unlock()
+	_ = id
+}
+
+// acceptLoop receives incoming connections; each starts a reader.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		select {
+		case <-n.stop:
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		default:
+		}
+		n.accepted[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop consumes frames from one incoming connection. The first frame
+// must be the hello identifying the sender; empty frames are heartbeats.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	hello, err := readFrame(conn)
+	if err != nil || len(hello) < 4 || string(hello[:4]) != "HELO" {
+		return
+	}
+	from := types.ServerID(hello[4:])
+	n.markSeen(from)
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		n.markSeen(from)
+		if len(payload) == 0 {
+			continue // heartbeat
+		}
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		n.inbox.Push(transport.Message{From: from, Payload: payload})
+	}
+}
+
+// pump moves inbox messages to the receive channel.
+func (n *Node) pump() {
+	defer n.wg.Done()
+	defer close(n.recvCh)
+	for {
+		m, ok := n.inbox.Pop()
+		if !ok {
+			return
+		}
+		select {
+		case n.recvCh <- m:
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// heartbeatLoop sends keepalives, redials dead peers and expires
+// reachability.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for id := range n.cfg.Peers {
+				_ = n.Send(id, nil) // empty frame = heartbeat; dials as needed
+			}
+			n.expire()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+func (n *Node) markSeen(from types.ServerID) {
+	n.mu.Lock()
+	n.lastSeen[from] = time.Now()
+	changed := !n.live[from]
+	n.live[from] = true
+	n.mu.Unlock()
+	if changed {
+		n.poke()
+	}
+}
+
+func (n *Node) expire() {
+	cutoff := time.Now().Add(-n.cfg.FailAfter)
+	n.mu.Lock()
+	changed := false
+	for id, seen := range n.lastSeen {
+		if n.live[id] && seen.Before(cutoff) {
+			n.live[id] = false
+			changed = true
+		}
+	}
+	n.mu.Unlock()
+	if changed {
+		n.poke()
+	}
+}
+
+func (n *Node) poke() {
+	select {
+	case n.changes <- struct{}{}:
+	default:
+	}
+}
+
+func writeFrame(conn net.Conn, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("tcpnet: frame too large: %d", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("tcpnet: oversized frame: %d", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,65 @@
+// Package transport abstracts the datagram substrate underneath the group
+// communication layer.
+//
+// The replication paper runs on Spread over a LAN; this repository runs the
+// same protocols over either an in-process partitionable network
+// (memnet, used by tests and benchmarks) or TCP sockets (tcpnet, used by
+// cmd/replica). A Transport endpoint provides best-effort FIFO unicast and
+// multicast plus a local reachability estimate (the failure detector); all
+// reliability, ordering and agreement guarantees are built above it by
+// package evs.
+package transport
+
+import (
+	"errors"
+
+	"evsdb/internal/types"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Message is a datagram received by an endpoint.
+type Message struct {
+	From    types.ServerID
+	Payload []byte
+}
+
+// Node is one process's attachment to the network.
+//
+// Guarantees required by package evs:
+//   - per (sender, receiver) pair, messages that are delivered are
+//     delivered in FIFO order;
+//   - while two endpoints remain mutually reachable and alive, messages
+//     between them are eventually delivered (fair-lossy is not enough for
+//     memnet's default config, which is reliable-while-connected; tcpnet
+//     gets this from TCP);
+//   - Reachable never includes crashed endpoints for long: after a
+//     connectivity change the estimate converges and Changes fires.
+type Node interface {
+	// ID returns this endpoint's stable server identifier.
+	ID() types.ServerID
+
+	// Send transmits a best-effort unicast datagram.
+	Send(to types.ServerID, payload []byte) error
+
+	// Multicast transmits the payload to every listed destination. On a
+	// broadcast medium this costs one network operation; point-to-point
+	// implementations fan out.
+	Multicast(to []types.ServerID, payload []byte) error
+
+	// Recv returns the channel of incoming datagrams. The channel is
+	// closed when the endpoint is closed or crashes.
+	Recv() <-chan Message
+
+	// Reachable returns the endpoints currently believed reachable,
+	// including this one, in canonical order.
+	Reachable() []types.ServerID
+
+	// Changes returns a channel that receives a signal whenever the
+	// reachability estimate may have changed. Signals may be coalesced.
+	Changes() <-chan struct{}
+
+	// Close detaches the endpoint. Idempotent.
+	Close() error
+}

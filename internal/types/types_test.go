@@ -1,0 +1,176 @@
+package types
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestActionIDLessIsStrictTotalOrder(t *testing.T) {
+	// Antisymmetry and totality over random pairs.
+	prop := func(s1, s2 string, i1, i2 uint64) bool {
+		a := ActionID{Server: ServerID(s1), Index: i1}
+		b := ActionID{Server: ServerID(s2), Index: i2}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActionIDLessTransitive(t *testing.T) {
+	prop := func(s1, s2, s3 string, i1, i2, i3 uint64) bool {
+		a := ActionID{Server: ServerID(s1), Index: i1}
+		b := ActionID{Server: ServerID(s2), Index: i2}
+		c := ActionID{Server: ServerID(s3), Index: i3}
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActionIDZero(t *testing.T) {
+	if !(ActionID{}).Zero() {
+		t.Fatal("zero value not Zero")
+	}
+	if (ActionID{Server: "a"}).Zero() {
+		t.Fatal("non-zero value reported Zero")
+	}
+}
+
+func TestConfIDLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b ConfID
+		want bool
+	}{
+		{"counter wins", ConfID{1, "z"}, ConfID{2, "a"}, true},
+		{"proposer ties", ConfID{1, "a"}, ConfID{1, "b"}, true},
+		{"equal", ConfID{1, "a"}, ConfID{1, "a"}, false},
+		{"greater", ConfID{3, "a"}, ConfID{2, "z"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Fatalf("(%v).Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSortServerIDs(t *testing.T) {
+	prop := func(raw []string) bool {
+		ids := make([]ServerID, len(raw))
+		for i, s := range raw {
+			ids[i] = ServerID(s)
+		}
+		SortServerIDs(ids)
+		for i := 1; i < len(ids); i++ {
+			if ids[i] < ids[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualMembers(t *testing.T) {
+	a := []ServerID{"x", "y", "z"}
+	b := []ServerID{"z", "x", "y"}
+	if !EqualMembers(a, b) {
+		t.Fatal("permutations should be equal")
+	}
+	if EqualMembers(a, b[:2]) {
+		t.Fatal("different lengths should differ")
+	}
+	if EqualMembers(a, []ServerID{"x", "y", "w"}) {
+		t.Fatal("different members should differ")
+	}
+	if !EqualMembers(nil, nil) {
+		t.Fatal("empty sets should be equal")
+	}
+}
+
+func TestConfigurationContains(t *testing.T) {
+	c := Configuration{Members: []ServerID{"a", "b"}}
+	if !c.Contains("a") || c.Contains("c") {
+		t.Fatalf("Contains misbehaves: %v", c)
+	}
+}
+
+func TestConfigurationCloneIsDeep(t *testing.T) {
+	c := Configuration{ID: ConfID{1, "a"}, Members: []ServerID{"a", "b"}}
+	d := c.Clone()
+	d.Members[0] = "zzz"
+	if c.Members[0] != "a" {
+		t.Fatal("Clone shares the member slice")
+	}
+}
+
+func TestActionCloneIsDeep(t *testing.T) {
+	a := Action{
+		ID:     ActionID{Server: "s", Index: 1},
+		Update: []byte("update"),
+		Query:  []byte("query"),
+	}
+	b := a.Clone()
+	b.Update[0] = 'X'
+	b.Query[0] = 'Y'
+	if a.Update[0] != 'u' || a.Query[0] != 'q' {
+		t.Fatal("Clone shares byte slices")
+	}
+}
+
+func TestActionJSONRoundTrip(t *testing.T) {
+	a := Action{
+		ID:        ActionID{Server: "s01", Index: 42},
+		Type:      ActionJoin,
+		Semantics: SemCommutative,
+		GreenLine: 7,
+		Client:    "c1",
+		Update:    []byte(`{"ops":[]}`),
+		Target:    "s99",
+	}
+	buf, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Action
+	if err := json.Unmarshal(buf, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != a.ID || b.Type != a.Type || b.Semantics != a.Semantics ||
+		b.GreenLine != a.GreenLine || b.Target != a.Target || string(b.Update) != string(a.Update) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	// The String methods are used in logs and test failures; keep them
+	// total over the enum ranges plus one out-of-range value.
+	for c := Color(0); c <= 5; c++ {
+		if c.String() == "" {
+			t.Fatalf("empty string for color %d", int(c))
+		}
+	}
+	for at := ActionType(0); at <= 6; at++ {
+		if at.String() == "" {
+			t.Fatalf("empty string for action type %d", int(at))
+		}
+	}
+	for s := Semantics(0); s <= 3; s++ {
+		if s.String() == "" {
+			t.Fatalf("empty string for semantics %d", int(s))
+		}
+	}
+}

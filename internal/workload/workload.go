@@ -1,0 +1,211 @@
+// Package workload generates client action streams for examples,
+// benchmarks and stress tests: key distributions (uniform, zipfian,
+// hotspot), operation mixes over the db command language, and open- or
+// closed-loop driving against a replication engine.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"evsdb/internal/core"
+	"evsdb/internal/db"
+	"evsdb/internal/types"
+)
+
+// KeyDist selects keys for generated operations.
+type KeyDist interface {
+	// Next returns the next key.
+	Next() string
+}
+
+// Uniform picks keys uniformly from a fixed keyspace.
+type Uniform struct {
+	N   int
+	Rng *rand.Rand
+}
+
+var _ KeyDist = (*Uniform)(nil)
+
+// Next implements KeyDist.
+func (u *Uniform) Next() string {
+	return fmt.Sprintf("key-%06d", u.Rng.Intn(u.N))
+}
+
+// Zipf skews access toward low-numbered keys (s=1.1), modeling the hot
+// keys of real OLTP workloads.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+var _ KeyDist = (*Zipf)(nil)
+
+// NewZipf builds a zipfian distribution over n keys.
+func NewZipf(n int, rng *rand.Rand) *Zipf {
+	return &Zipf{z: rand.NewZipf(rng, 1.1, 1, uint64(n-1))}
+}
+
+// Next implements KeyDist.
+func (z *Zipf) Next() string {
+	return fmt.Sprintf("key-%06d", z.z.Uint64())
+}
+
+// Hotspot sends a fraction of traffic to a single hot key.
+type Hotspot struct {
+	Fraction float64 // probability of hitting the hot key
+	Cold     KeyDist
+	Rng      *rand.Rand
+}
+
+var _ KeyDist = (*Hotspot)(nil)
+
+// Next implements KeyDist.
+func (h *Hotspot) Next() string {
+	if h.Rng.Float64() < h.Fraction {
+		return "key-hot"
+	}
+	return h.Cold.Next()
+}
+
+// Mix describes the operation blend of a workload. Weights need not sum
+// to anything particular; they are relative.
+type Mix struct {
+	Set int // plain writes
+	Add int // commutative increments
+	Get int // strict queries
+	TS  int // timestamped writes
+}
+
+// DefaultMix is a write-heavy blend resembling the paper's action stream.
+var DefaultMix = Mix{Set: 6, Add: 2, Get: 1, TS: 1}
+
+// Op is one generated client operation.
+type Op struct {
+	Update    []byte
+	Query     []byte
+	Semantics types.Semantics
+}
+
+// Generator produces a deterministic (seeded) stream of operations.
+type Generator struct {
+	keys KeyDist
+	mix  Mix
+	rng  *rand.Rand
+	tot  int
+	seq  int64
+}
+
+// NewGenerator builds a generator over the key distribution and mix.
+func NewGenerator(keys KeyDist, mix Mix, seed int64) *Generator {
+	tot := mix.Set + mix.Add + mix.Get + mix.TS
+	if tot == 0 {
+		mix = DefaultMix
+		tot = mix.Set + mix.Add + mix.Get + mix.TS
+	}
+	return &Generator{keys: keys, mix: mix, rng: rand.New(rand.NewSource(seed)), tot: tot}
+}
+
+// Next returns the next operation in the stream.
+func (g *Generator) Next() Op {
+	g.seq++
+	key := g.keys.Next()
+	r := g.rng.Intn(g.tot)
+	switch {
+	case r < g.mix.Set:
+		return Op{
+			Update:    db.EncodeUpdate(db.Set(key, fmt.Sprintf("v%d", g.seq))),
+			Semantics: types.SemStrict,
+		}
+	case r < g.mix.Set+g.mix.Add:
+		return Op{
+			Update:    db.EncodeUpdate(db.Add(key, int64(g.rng.Intn(10)+1))),
+			Semantics: types.SemCommutative,
+		}
+	case r < g.mix.Set+g.mix.Add+g.mix.Get:
+		return Op{Query: db.Get(key), Semantics: types.SemStrict}
+	default:
+		return Op{
+			Update:    db.EncodeUpdate(db.TSSet(key, fmt.Sprintf("t%d", g.seq), g.seq)),
+			Semantics: types.SemTimestamp,
+		}
+	}
+}
+
+// Stats aggregates a driver run.
+type Stats struct {
+	Completed uint64
+	Aborted   uint64
+	Failed    uint64
+	Elapsed   time.Duration
+}
+
+// Throughput returns completed operations per second.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / s.Elapsed.Seconds()
+}
+
+// Client drives one engine with generated operations.
+type Client struct {
+	Engine *core.Engine
+	Gen    *Generator
+	// Think inserts a fixed pause between operations (0 = closed loop at
+	// full speed).
+	Think time.Duration
+}
+
+// Run submits n operations (or until ctx ends) and reports stats.
+func (c *Client) Run(ctx context.Context, n int) Stats {
+	start := time.Now()
+	var st Stats
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		op := c.Gen.Next()
+		reply, err := c.Engine.Submit(ctx, op.Update, op.Query, op.Semantics)
+		switch {
+		case err != nil:
+			st.Failed++
+		case reply.Err != "":
+			st.Aborted++
+		default:
+			st.Completed++
+		}
+		if c.Think > 0 {
+			time.Sleep(c.Think)
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// RunGroup drives several clients concurrently and merges their stats.
+func RunGroup(ctx context.Context, clients []*Client, opsEach int) Stats {
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		agg Stats
+	)
+	start := time.Now()
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			st := c.Run(ctx, opsEach)
+			mu.Lock()
+			agg.Completed += st.Completed
+			agg.Aborted += st.Aborted
+			agg.Failed += st.Failed
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	agg.Elapsed = time.Since(start)
+	return agg
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"evsdb/internal/cluster"
+	"evsdb/internal/storage"
+)
+
+func TestUniformStaysInKeyspace(t *testing.T) {
+	u := &Uniform{N: 10, Rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 1000; i++ {
+		k := u.Next()
+		if !strings.HasPrefix(k, "key-") {
+			t.Fatalf("bad key %q", k)
+		}
+	}
+}
+
+func TestZipfSkews(t *testing.T) {
+	z := NewZipf(1000, rand.New(rand.NewSource(2)))
+	counts := make(map[string]int)
+	for i := 0; i < 5000; i++ {
+		counts[z.Next()]++
+	}
+	if counts["key-000000"] < 500 {
+		t.Fatalf("zipf not skewed: hottest key hit %d of 5000", counts["key-000000"])
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	h := &Hotspot{
+		Fraction: 0.5,
+		Cold:     &Uniform{N: 100, Rng: rand.New(rand.NewSource(3))},
+		Rng:      rand.New(rand.NewSource(4)),
+	}
+	hot := 0
+	for i := 0; i < 2000; i++ {
+		if h.Next() == "key-hot" {
+			hot++
+		}
+	}
+	if hot < 800 || hot > 1200 {
+		t.Fatalf("hotspot fraction off: %d of 2000", hot)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	mk := func() *Generator {
+		return NewGenerator(&Uniform{N: 50, Rng: rand.New(rand.NewSource(7))}, DefaultMix, 7)
+	}
+	g1, g2 := mk(), mk()
+	for i := 0; i < 200; i++ {
+		a, b := g1.Next(), g2.Next()
+		if string(a.Update) != string(b.Update) || string(a.Query) != string(b.Query) ||
+			a.Semantics != b.Semantics {
+			t.Fatalf("divergence at op %d", i)
+		}
+	}
+}
+
+func TestGeneratorMixCoversAllKinds(t *testing.T) {
+	g := NewGenerator(&Uniform{N: 10, Rng: rand.New(rand.NewSource(9))}, DefaultMix, 9)
+	var sets, queries, relaxed int
+	for i := 0; i < 500; i++ {
+		op := g.Next()
+		switch {
+		case op.Query != nil && op.Update == nil:
+			queries++
+		case op.Semantics != 0:
+			relaxed++
+		default:
+			sets++
+		}
+	}
+	if sets == 0 || queries == 0 || relaxed == 0 {
+		t.Fatalf("mix incomplete: sets=%d queries=%d relaxed=%d", sets, queries, relaxed)
+	}
+}
+
+func TestEmptyMixFallsBackToDefault(t *testing.T) {
+	g := NewGenerator(&Uniform{N: 10, Rng: rand.New(rand.NewSource(1))}, Mix{}, 1)
+	op := g.Next()
+	if op.Update == nil && op.Query == nil {
+		t.Fatal("empty op from default mix")
+	}
+}
+
+func TestClientsDriveCluster(t *testing.T) {
+	c, err := cluster.New(3, cluster.WithSyncPolicy(storage.SyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ids := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, ids...); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var clients []*Client
+	for i, id := range ids {
+		clients = append(clients, &Client{
+			Engine: c.Replica(id).Engine,
+			Gen: NewGenerator(
+				NewZipf(100, rand.New(rand.NewSource(int64(i)))),
+				DefaultMix, int64(i)),
+		})
+	}
+	st := RunGroup(ctx, clients, 30)
+	if st.Failed > 0 {
+		t.Fatalf("failures: %+v", st)
+	}
+	if st.Completed+st.Aborted != uint64(30*len(clients)) {
+		t.Fatalf("lost operations: %+v", st)
+	}
+	if st.Throughput() <= 0 {
+		t.Fatalf("throughput: %+v", st)
+	}
+	if err := c.CheckTotalOrder(ids...); err != nil {
+		t.Fatal(err)
+	}
+}
