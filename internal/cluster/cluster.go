@@ -47,6 +47,17 @@ func WithQuorum(q quorum.System) Option {
 	return func(c *Cluster) { c.quorum = q }
 }
 
+// WithCrashHook installs a fault-injection hook invoked at every engine
+// "** sync to disk" barrier (see core.Config.SyncHook). Returning true
+// kills the replica exactly at that barrier: the engine halts mid-handler
+// and the network endpoint drops synchronously, before any post-barrier
+// protocol message can leave the machine. The caller must still invoke
+// Crash(id) afterwards to finish the teardown (close the GC stack and
+// drop the unsynced log tail) before Recover(id).
+func WithCrashHook(fn func(id types.ServerID, point string) bool) Option {
+	return func(c *Cluster) { c.crashHook = fn }
+}
+
 // Replica bundles one server's full stack.
 type Replica struct {
 	ID     types.ServerID
@@ -60,10 +71,11 @@ type Replica struct {
 type Cluster struct {
 	Net *memnet.Network
 
-	logOpts storage.Options
-	evsTick time.Duration
-	netOpts []memnet.Option
-	quorum  quorum.System
+	logOpts   storage.Options
+	evsTick   time.Duration
+	netOpts   []memnet.Option
+	quorum    quorum.System
+	crashHook func(id types.ServerID, point string) bool
 
 	mu       sync.Mutex
 	replicas map[types.ServerID]*Replica
@@ -126,6 +138,15 @@ func (c *Cluster) start(id types.ServerID, snap *core.JoinSnapshot, recovering b
 		DB:      database,
 		Quorum:  c.quorum,
 		Recover: recovering,
+	}
+	if c.crashHook != nil {
+		cfg.SyncHook = func(point string) bool {
+			if !c.crashHook(id, point) {
+				return false
+			}
+			c.Net.Crash(id)
+			return true
+		}
 	}
 	var eng *core.Engine
 	if snap != nil {
@@ -236,15 +257,55 @@ func (c *Cluster) Close() {
 	}
 }
 
-// WaitState polls until the replica reaches the given engine state.
+// waitCond blocks until cond holds for the replica or the deadline
+// passes. It is event-driven: the engine's Watch channel signals state
+// transitions and green applies, so the wait wakes as soon as anything
+// observable changes. The wakeup wait is capped because the replica can
+// be crashed and replaced underneath us — a dead engine never signals.
+func (c *Cluster) waitCond(id types.ServerID, deadline time.Time, cond func(*Replica) bool) bool {
+	for {
+		r := c.Replica(id)
+		if r == nil {
+			if !time.Now().Before(deadline) {
+				return false
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if cond(r) {
+			return true
+		}
+		ch, cancel := r.Engine.Watch()
+		if cond(r) { // re-check: the change may have raced the registration
+			cancel()
+			return true
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			cancel()
+			return false
+		}
+		if wait > 20*time.Millisecond {
+			wait = 20 * time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+		cancel()
+	}
+}
+
+// WaitState waits until the replica reaches the given engine state.
 func (c *Cluster) WaitState(id types.ServerID, want core.State, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		r := c.Replica(id)
-		if r != nil && r.Engine.Status().State == want {
-			return nil
-		}
-		time.Sleep(time.Millisecond)
+	ok := c.waitCond(id, deadline, func(r *Replica) bool {
+		return r.Engine.Status().State == want
+	})
+	if ok {
+		return nil
 	}
 	r := c.Replica(id)
 	if r == nil {
@@ -277,21 +338,15 @@ func (c *Cluster) WaitNonPrim(timeout time.Duration, ids ...types.ServerID) erro
 // actions green.
 func (c *Cluster) WaitGreenCount(n uint64, timeout time.Duration, ids ...types.ServerID) error {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		ok := true
-		for _, id := range ids {
-			r := c.Replica(id)
-			if r == nil || r.Engine.Status().GreenCount < n {
-				ok = false
-				break
-			}
+	for _, id := range ids {
+		ok := c.waitCond(id, deadline, func(r *Replica) bool {
+			return r.Engine.Status().GreenCount >= n
+		})
+		if !ok {
+			return fmt.Errorf("wait green count %d: %s timed out", n, id)
 		}
-		if ok {
-			return nil
-		}
-		time.Sleep(time.Millisecond)
 	}
-	return fmt.Errorf("wait green count %d: timed out", n)
+	return nil
 }
 
 // CheckColoring verifies the paper's Fig. 1 invariant across the listed

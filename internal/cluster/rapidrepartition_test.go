@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"evsdb/internal/core"
+	"evsdb/internal/types"
 )
 
 // TestRapidRepartitionTotalOrder hammers Theorem 1 under rapid
@@ -29,11 +32,68 @@ func TestRapidRepartitionTotalOrder(t *testing.T) {
 				}
 				mustSet(t, c, all[round%5], fmt.Sprintf("round%d", round), "done")
 				if err := c.CheckTotalOrder(all...); err != nil {
-					for _, id := range all {
-						h, hStart := c.Replica(id).Engine.GreenHistory()
-						st := c.Replica(id).Engine.Status()
-						t.Logf("%s green=%d base-start=%d hist=%v", id, st.GreenCount, hStart, h)
-					}
+					dumpHistories(t, c, all)
+					t.Fatalf("attempt %d round %d: %v", attempt, round, err)
+				}
+				if err := c.CheckColoring(all...); err != nil {
+					t.Fatalf("attempt %d round %d: %v", attempt, round, err)
+				}
+			}
+			c.Close()
+		}()
+	}
+}
+
+func dumpHistories(t *testing.T, c *Cluster, ids []types.ServerID) {
+	t.Helper()
+	for _, id := range ids {
+		h, hStart := c.Replica(id).Engine.GreenHistory()
+		st := c.Replica(id).Engine.Status()
+		t.Logf("%s green=%d base-start=%d hist=%v", id, st.GreenCount, hStart, h)
+	}
+}
+
+// TestCascadingThreeWaySplit re-partitions the network again while the
+// previous partition's state exchange is still in flight — the cascading
+// membership changes of paper § 4 — cutting three ways and then
+// shattering to singletons before healing. The cascade points are
+// event-driven: each further split fires as soon as a watched replica is
+// observed to have left RegPrim, so the test lands inside the exchange
+// window instead of guessing with sleeps.
+func TestCascadingThreeWaySplit(t *testing.T) {
+	leftRegPrim := func(r *Replica) bool { return r.Engine.Status().State != core.RegPrim }
+	for attempt := 0; attempt < 12; attempt++ {
+		func() {
+			c := testCluster(t, 5)
+			all := c.IDs()
+			if err := c.WaitPrimary(10*time.Second, all...); err != nil {
+				t.Fatal(err)
+			}
+			mustSet(t, c, all[0], "pre", "1")
+			for round := 0; round < 3; round++ {
+				// Three-way cut: {0,1,2} keeps quorum, {3} and {4} do not.
+				c.Partition(all[:3], all[3:4], all[4:])
+				c.waitCond(all[0], time.Now().Add(5*time.Second), leftRegPrim)
+				// Cascade mid-exchange: the quorum side splits again and
+				// node 2 switches sides while holding exchange state.
+				c.Partition(all[:2], all[2:4], all[4:])
+				c.waitCond(all[2], time.Now().Add(5*time.Second), leftRegPrim)
+				// Shatter to singletons, then merge everyone back at once.
+				c.Partition(all[:1], all[1:2], all[2:3], all[3:4], all[4:])
+				c.Heal()
+				if err := c.WaitPrimary(20*time.Second, all...); err != nil {
+					t.Fatalf("attempt %d round %d: %v", attempt, round, err)
+				}
+				key := fmt.Sprintf("cascade%d", round)
+				mustSet(t, c, all[(round+1)%5], key, "done")
+				for _, id := range all {
+					waitValue(t, c, id, key, "done")
+				}
+				if err := c.CheckTotalOrder(all...); err != nil {
+					dumpHistories(t, c, all)
+					t.Fatalf("attempt %d round %d: %v", attempt, round, err)
+				}
+				if err := c.CheckColoring(all...); err != nil {
 					t.Fatalf("attempt %d round %d: %v", attempt, round, err)
 				}
 			}

@@ -144,6 +144,13 @@ type Config struct {
 	Quorum quorum.System
 	// Recover replays Log before starting (crash recovery).
 	Recover bool
+	// SyncHook, if set, is invoked on the engine goroutine at every
+	// "** sync to disk" barrier, after the forced write completes and
+	// before any subsequent protocol message is sent. Returning true
+	// halts the engine immediately — mid-handler — emulating a process
+	// crash exactly at the barrier. Used by fault-injection harnesses
+	// (internal/sim); nil in production.
+	SyncHook func(point string) bool
 }
 
 type submitReq struct {
@@ -204,13 +211,27 @@ type Engine struct {
 	submitCh     chan submitReq
 	joinCh       chan joinReq
 	statusCh     chan statusReq
-	historyCh    chan chan historySnap
 	leaveCh      chan chan error
 	checkpointCh chan chan error
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	syncHook func(point string) bool
+
+	// Observability state readable from any goroutine — including after
+	// the engine stopped or crashed — under its own locks. The run loop
+	// is the only writer.
+	histMu   sync.Mutex
+	history  []types.ActionID // full green order known here (Theorem 1 checks)
+	histBase uint64           // greens preceding history[0] (snapshot bootstrap)
+
+	installMu sync.Mutex
+	installs  []PrimComponent // every primary component installed here, in order
+
+	watchMu  sync.Mutex
+	watchers map[chan struct{}]struct{}
 
 	// Everything below is owned by the run loop (paper Appendix A
 	// variables keep their names where practical).
@@ -243,7 +264,9 @@ type Engine struct {
 	pendingJoins     []joinReq
 	left             bool
 	vulnByServer     map[types.ServerID]Vulnerable // post-ComputeKnowledge view
-	history          []types.ActionID              // full green order (Theorem 1 checks)
+	exchRound        uint64                        // state-exchange round within this conf (catch-up restarts it)
+	awaitingSnap     bool                          // waiting for a § 5.2 catch-up snapshot
+	liveBuf          []types.Action                // live actions held back during an exchange (see onAction)
 	replaying        bool                          // suppress logging/replies during recovery
 	ioFailed         bool                          // stable storage failed; refuse new work
 	metrics          Metrics
@@ -296,7 +319,6 @@ func newEngine(cfg Config) (*Engine, error) {
 		submitCh:     make(chan submitReq),
 		joinCh:       make(chan joinReq),
 		statusCh:     make(chan statusReq),
-		historyCh:    make(chan chan historySnap),
 		leaveCh:      make(chan chan error),
 		checkpointCh: make(chan chan error),
 		stop:         make(chan struct{}),
@@ -313,6 +335,8 @@ func newEngine(cfg Config) (*Engine, error) {
 		appliedRed:   make(map[types.ActionID]bool),
 		queryWait:    make(map[types.ActionID][]submitReq),
 		joinWaiters:  make(map[types.ServerID][]chan joinResp),
+		watchers:     make(map[chan struct{}]struct{}),
+		syncHook:     cfg.SyncHook,
 	}
 	for _, s := range cfg.Servers {
 		e.serverSet[s] = true
@@ -421,25 +445,79 @@ func (e *Engine) Checkpoint(ctx context.Context) error {
 	}
 }
 
-type historySnap struct {
-	seq     []types.ActionID
-	firstAt uint64
-}
-
 // GreenHistory returns the green order recorded by this server and the
 // global sequence number of its first entry, consistently snapshotted —
-// the input to order-invariant checks (Theorems 1 and 2).
+// the input to order-invariant checks (Theorems 1 and 2). Safe to call
+// from any goroutine, including after the engine stopped or crashed
+// (fault-injection checkers read post-mortem histories).
 func (e *Engine) GreenHistory() ([]types.ActionID, uint64) {
-	ch := make(chan historySnap, 1)
-	select {
-	case e.historyCh <- ch:
-		s := <-ch
-		return s.seq, s.firstAt
-	case <-e.stop:
-		return nil, 0
-	case <-e.done:
-		return nil, 0
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
+	return append([]types.ActionID(nil), e.history...), e.histBase + 1
+}
+
+// InstallHistory returns every primary component this server installed,
+// in order. Safe to call from any goroutine, including post-mortem.
+func (e *Engine) InstallHistory() []PrimComponent {
+	e.installMu.Lock()
+	defer e.installMu.Unlock()
+	out := make([]PrimComponent, len(e.installs))
+	for i, p := range e.installs {
+		out[i] = PrimComponent{
+			PrimIndex:    p.PrimIndex,
+			AttemptIndex: p.AttemptIndex,
+			Servers:      append([]types.ServerID(nil), p.Servers...),
+		}
 	}
+	return out
+}
+
+// recordInstall snapshots an installed primary component (run loop only).
+func (e *Engine) recordInstall(p PrimComponent) {
+	e.installMu.Lock()
+	e.installs = append(e.installs, PrimComponent{
+		PrimIndex:    p.PrimIndex,
+		AttemptIndex: p.AttemptIndex,
+		Servers:      append([]types.ServerID(nil), p.Servers...),
+	})
+	e.installMu.Unlock()
+}
+
+// Watch registers interest in the engine's observable state: the channel
+// receives a (coalesced) signal whenever the state machine transitions or
+// an action turns green. The returned cancel func releases the watcher.
+// Event-driven test waits use this instead of polling.
+func (e *Engine) Watch() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	e.watchMu.Lock()
+	e.watchers[ch] = struct{}{}
+	e.watchMu.Unlock()
+	return ch, func() {
+		e.watchMu.Lock()
+		delete(e.watchers, ch)
+		e.watchMu.Unlock()
+	}
+}
+
+// notifyWatchers pokes every watcher without blocking.
+func (e *Engine) notifyWatchers() {
+	e.watchMu.Lock()
+	for ch := range e.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	e.watchMu.Unlock()
+}
+
+// setState transitions the state machine and wakes watchers.
+func (e *Engine) setState(s State) {
+	if e.st == s {
+		return
+	}
+	e.st = s
+	e.notifyWatchers()
 }
 
 // Status reports the engine's current state (tests and tooling).
@@ -502,6 +580,14 @@ func (e *Engine) Leave(ctx context.Context) error {
 // run is the engine event loop: one goroutine owns all protocol state.
 func (e *Engine) run() {
 	defer close(e.done)
+	defer func() {
+		// An injected crash at a sync barrier unwinds the loop mid-handler
+		// via a sentinel panic: the engine dies exactly at the barrier, as
+		// a power failure would. Anything else is a real bug.
+		if r := recover(); r != nil && r != errCrashPoint {
+			panic(r)
+		}
+	}()
 	events := e.gc.Events()
 	for {
 		select {
@@ -518,11 +604,6 @@ func (e *Engine) run() {
 			e.handleLeave(ch)
 		case req := <-e.statusCh:
 			req.ch <- e.statusLocked()
-		case ch := <-e.historyCh:
-			ch <- historySnap{
-				seq:     append([]types.ActionID(nil), e.history...),
-				firstAt: e.queue.greenCount() - uint64(len(e.history)) + 1,
-			}
 		case ch := <-e.checkpointCh:
 			ch <- e.checkpoint()
 		case <-e.stop:
@@ -579,6 +660,10 @@ func (e *Engine) handleEvent(ev evs.Event) {
 		case emRetrans:
 			if m.Retrans != nil {
 				e.onRetrans(*m.Retrans)
+			}
+		case emSnapshot:
+			if m.Snap != nil {
+				e.onSnapshot(*m.Snap)
 			}
 		}
 	}

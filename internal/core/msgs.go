@@ -65,6 +65,7 @@ const (
 	emState
 	emCPC
 	emRetrans
+	emSnapshot
 )
 
 // stateMsg is the end-to-end state exchanged once per view change
@@ -73,6 +74,10 @@ const (
 type stateMsg struct {
 	Server types.ServerID `json:"server"`
 	Conf   types.ConfID   `json:"conf"`
+	// Round numbers the exchange within this configuration: a § 5.2
+	// catch-up snapshot restarts the exchange in round+1, and stale state
+	// messages from the superseded round are discarded.
+	Round uint64 `json:"round,omitempty"`
 
 	// RedCut[s] is the index of the last action created by s this server
 	// holds.
@@ -98,6 +103,18 @@ type cpcMsg struct {
 	Conf   types.ConfID   `json:"conf"`
 }
 
+// snapMsg carries a § 5.2 catch-up snapshot: when the exchange discovers
+// a green gap with no live holder (a member recovered below the
+// component's white-collection base), the most knowledgeable member
+// transfers its full green state and the exchange restarts one round
+// later.
+type snapMsg struct {
+	Server types.ServerID `json:"server"`
+	Conf   types.ConfID   `json:"conf"`
+	Round  uint64         `json:"round"`
+	Snap   *JoinSnapshot  `json:"snap"`
+}
+
 // retransMsg carries one action retransmitted during the exchange phase,
 // tagged with the knowledge level the receiver must assign (paper OR-3).
 type retransMsg struct {
@@ -116,6 +133,7 @@ type engineMsg struct {
 	State   *stateMsg     `json:"state,omitempty"`
 	CPC     *cpcMsg       `json:"cpc,omitempty"`
 	Retrans *retransMsg   `json:"retrans,omitempty"`
+	Snap    *snapMsg      `json:"snap,omitempty"`
 }
 
 func encodeEngineMsg(m engineMsg) []byte {

@@ -53,13 +53,24 @@ func (e *Engine) appendLog(rec logRecord) {
 	}
 }
 
-// syncLog forces the log (a paper "** sync to disk" point).
-func (e *Engine) syncLog() {
+// errCrashPoint is the sentinel panic used to halt the engine goroutine
+// exactly at a "** sync to disk" barrier when a test hook injects a crash.
+var errCrashPoint = fmt.Errorf("core: crash injected at sync barrier")
+
+// syncLog forces the log (a paper "** sync to disk" point). The point
+// name identifies which barrier this is; when a SyncHook is installed and
+// asks for a crash, the engine unwinds via errCrashPoint and never
+// executes the protocol step that follows the barrier — exactly the
+// window the paper's vulnerable/yellow machinery exists to cover.
+func (e *Engine) syncLog(point string) {
 	if e.replaying {
 		return
 	}
 	if err := e.log.Sync(); err != nil {
 		e.ioFailed = true
+	}
+	if e.syncHook != nil && e.syncHook(point) {
+		panic(errCrashPoint)
 	}
 }
 

@@ -81,6 +81,12 @@ func (e *Engine) restoreSnapshot(snap *JoinSnapshot) error {
 	}
 	e.greenKnown[e.id] = snap.GreenCount
 	e.prim = snap.Prim
+	// The green order below the snapshot point is inherited, not recorded:
+	// the observable history restarts at the snapshot's green line.
+	e.histMu.Lock()
+	e.history = nil
+	e.histBase = snap.GreenCount
+	e.histMu.Unlock()
 	return nil
 }
 
@@ -106,7 +112,7 @@ func NewFromJoin(cfg Config, snap *JoinSnapshot) (*Engine, error) {
 	// Persist the bootstrap state so a crash during catch-up recovers.
 	e.appendLog(logRecord{T: recCheckpoint, Snap: snap})
 	e.persistState()
-	e.syncLog()
+	e.syncLog("join-bootstrap")
 	go e.run()
 	return e, nil
 }
@@ -188,7 +194,7 @@ func (e *Engine) handleJoinRequest(req joinReq) {
 		a.GreenLine = e.queue.greenCount()
 		e.ongoing[a.ID] = a
 		e.appendLog(logRecord{T: recOngoing, Action: &a})
-		e.syncLog()
+		e.syncLog("join")
 		e.joinWaiters[req.joiner] = append(e.joinWaiters[req.joiner], req.ch)
 		e.generate(a)
 	default:
@@ -226,7 +232,7 @@ func (e *Engine) handleLeave(ch chan error) {
 		a.GreenLine = e.queue.greenCount()
 		e.ongoing[a.ID] = a
 		e.appendLog(logRecord{T: recOngoing, Action: &a})
-		e.syncLog()
+		e.syncLog("leave")
 		e.generate(a)
 		ch <- nil
 	default:

@@ -20,11 +20,16 @@ func (e *Engine) onAction(a types.Action) {
 	case TransPrim:
 		e.markYellow(a)
 	case ExchangeStates, ExchangeActions:
-		// Live actions sent just before the view change surface here.
-		e.markRed(a, true)
-		if e.st == ExchangeActions {
-			e.maybeEndRetrans()
-		}
+		// Live actions sent around the view change surface here. They
+		// must NOT enter the red zone yet: members start the exchange
+		// with different red cuts, so a live action that overtakes the
+		// retransmission of its predecessor would be FIFO-accepted at
+		// some members and rejected at others — and a subsequent install
+		// would order divergent red sets (a global-order violation found
+		// by fault-injection simulation). Buffer it; endOfRetrans folds
+		// the buffer in after every member's cut is equalized to the
+		// plan's maxRedCut, making acceptance identical everywhere.
+		e.liveBuf = append(e.liveBuf, a)
 	case Construct, No:
 		// Total order makes this consistent: either every server sees the
 		// action before its last CPC (red everywhere, greened canonically
@@ -36,7 +41,7 @@ func (e *Engine) onAction(a types.Action) {
 		// action yellow, and join that server in TransPrim.
 		e.install()
 		e.markYellow(a)
-		e.st = TransPrim
+		e.setState(TransPrim)
 	}
 }
 
@@ -44,13 +49,17 @@ func (e *Engine) onAction(a types.Action) {
 func (e *Engine) onTransConf(types.Configuration) {
 	switch e.st {
 	case RegPrim:
-		e.st = TransPrim
+		e.setState(TransPrim)
 	case NonPrim:
 		// Ignored (paper A.1): red actions keep accumulating.
 	case ExchangeStates, ExchangeActions:
-		e.st = NonPrim
+		// The exchange died: live actions buffered during it settle as
+		// plain reds (red-set divergence across components is normal
+		// here; the next exchange equalizes it).
+		e.flushLiveBuf()
+		e.setState(NonPrim)
 	case Construct:
-		e.st = No
+		e.setState(No)
 	}
 }
 
@@ -75,8 +84,10 @@ func (e *Engine) onRegConf(conf types.Configuration) {
 }
 
 // onStateMsg handles a state message during ExchangeStates (paper A.4).
+// Round filtering keeps messages from an exchange round superseded by a
+// catch-up restart from polluting the new round's collection.
 func (e *Engine) onStateMsg(s stateMsg) {
-	if e.st != ExchangeStates || s.Conf != e.conf.ID {
+	if e.st != ExchangeStates || s.Conf != e.conf.ID || s.Round != e.exchRound || e.awaitingSnap {
 		return
 	}
 	e.stateMsgs[s.Server] = s
@@ -88,9 +99,131 @@ func (e *Engine) onStateMsg(s stateMsg) {
 	// All state messages delivered: compute the retransmission plan, send
 	// this server's share, and move to ExchangeActions.
 	e.plan = e.computeRetransPlan()
+	if e.plan.greensBlocked() {
+		// No live holder can retransmit part of the green gap — a crashed
+		// member recovered below the component's white-collection base.
+		// Retransmission cannot equalize green states; fall back to a full
+		// state transfer (paper § 5.2) and restart the exchange.
+		e.startCatchUp()
+		return
+	}
 	e.retransmitShare()
-	e.st = ExchangeActions
+	e.setState(ExchangeActions)
 	e.maybeEndRetrans()
+}
+
+// startCatchUp initiates the § 5.2 catch-up: the most knowledgeable
+// member (highest green count, ties to the lowest id — computed
+// identically everywhere from the state messages) multicasts its full
+// green snapshot; every member waits for it before restarting the
+// exchange in the next round.
+func (e *Engine) startCatchUp() {
+	var sender types.ServerID
+	var best uint64
+	for _, m := range e.conf.Members {
+		s := e.stateMsgs[m]
+		if sender == "" || s.GreenCount > best || (s.GreenCount == best && m < sender) {
+			sender = m
+			best = s.GreenCount
+		}
+	}
+	e.plan = nil
+	e.awaitingSnap = true
+	if sender == e.id {
+		sm := snapMsg{Server: e.id, Conf: e.conf.ID, Round: e.exchRound, Snap: e.buildJoinSnapshot()}
+		_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emSnapshot, Snap: &sm}), evs.Safe)
+	}
+}
+
+// onSnapshot handles a § 5.2 catch-up snapshot. Safe delivery in an
+// unchanged configuration means every member processes it at the same
+// point of the total order: all of them — the sender included — adopt
+// whatever the snapshot adds, bump the exchange round, and re-send their
+// state messages.
+func (e *Engine) onSnapshot(m snapMsg) {
+	if e.st != ExchangeStates || m.Conf != e.conf.ID || m.Round != e.exchRound || m.Snap == nil {
+		return
+	}
+	e.applyCatchUp(m.Snap)
+	e.exchRound++
+	e.awaitingSnap = false
+	e.stateMsgs = make(map[types.ServerID]stateMsg)
+	e.plan = nil
+	e.pendingGreen = make(map[uint64]types.Action)
+	s := e.buildStateMsg()
+	_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emState, State: &s}), evs.Safe)
+}
+
+// applyCatchUp adopts a catch-up snapshot: members at or above the
+// snapshot's green line only merge knowledge; laggards replace their
+// green prefix with the snapshot, preserving every red action the
+// snapshot does not already incorporate, and force the new base to disk —
+// a crash right after the exchange restarts must not reopen the gap.
+func (e *Engine) applyCatchUp(snap *JoinSnapshot) {
+	if snap.GreenCount <= e.queue.greenCount() {
+		for s, v := range snap.GreenKnown {
+			if v > e.greenKnown[s] {
+				e.greenKnown[s] = v
+			}
+		}
+		return
+	}
+	// Red actions beyond the snapshot's per-creator cut survive the
+	// restore. Green prefixes are prefix-related (Theorem 1), so the
+	// snapshot incorporates every action below that cut and the kept runs
+	// stay contiguous from the restored red cut.
+	var keep []types.Action
+	for _, a := range e.queue.reds() {
+		if a.ID.Index > snap.OrderedIdx[a.ID.Server] {
+			keep = append(keep, a)
+		}
+	}
+	oldKnown := e.greenKnown
+	wasApplied := e.appliedRed
+	if err := e.restoreSnapshot(snap); err != nil {
+		e.ioFailed = true
+		return
+	}
+	for s, v := range oldKnown {
+		if v > e.greenKnown[s] {
+			e.greenKnown[s] = v
+		}
+	}
+	e.appendLog(logRecord{T: recCheckpoint, Snap: snap})
+	e.appliedRed = make(map[types.ActionID]bool)
+	for _, a := range keep {
+		if !e.markRed(a, false) {
+			continue
+		}
+		if wasApplied[a.ID] {
+			// Relaxed action already applied and answered while red: redo
+			// its effect on the restored database (its green record will
+			// skip re-application, as after a replay).
+			if len(a.Update) > 0 {
+				_ = e.db.Apply(a.Update)
+			}
+			e.appliedRed[a.ID] = true
+		}
+	}
+	// Locally pending actions incorporated in the snapshot were greened
+	// elsewhere; applyGreen will never run for them here, so answer their
+	// clients now. The snapshot only bounds the position: report its green
+	// count, the latest position the action can occupy.
+	for id, ch := range e.pendingReply {
+		if id.Index <= snap.OrderedIdx[id.Server] {
+			delete(e.pendingReply, id)
+			ch <- Reply{GreenSeq: snap.GreenCount}
+			e.releaseQueries(id)
+		}
+	}
+	for id := range e.ongoing {
+		if id.Index <= snap.OrderedIdx[id.Server] {
+			delete(e.ongoing, id)
+		}
+	}
+	e.rebuildDirtyOverlay()
+	e.persistState()
+	e.syncLog("catch-up")
 }
 
 // onCPC handles a Create Primary Component message (paper A.9, A.11).
@@ -119,15 +252,16 @@ func (e *Engine) onCPC(c cpcMsg) {
 			}
 		}
 		e.install()
-		e.st = RegPrim
+		e.setState(RegPrim)
 		e.handleBuffered()
 		e.processPendingJoins()
+		e.regenerateOngoing()
 	case No:
 		e.cpcFrom[c.Server] = true
 		if e.allCPC() {
 			// All CPCs arrived, but some only in the transitional
 			// configuration: a server may or may not have installed.
-			e.st = Un
+			e.setState(Un)
 		}
 	}
 }
@@ -145,16 +279,21 @@ func (e *Engine) allCPC() bool {
 // force state to disk, clear collected state messages, generate this
 // server's state message, and enter ExchangeStates.
 func (e *Engine) shiftToExchangeStates() {
+	// Actions still buffered from an exchange the view change cut short
+	// become reds now, so the state message below accounts for them.
+	e.flushLiveBuf()
 	e.persistState()
-	e.syncLog()
+	e.syncLog("exchange-states")
 	e.stateMsgs = make(map[types.ServerID]stateMsg)
 	e.cpcFrom = make(map[types.ServerID]bool)
 	e.plan = nil
 	e.pendingGreen = make(map[uint64]types.Action)
+	e.exchRound = 0
+	e.awaitingSnap = false
 	s := e.buildStateMsg()
 	_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emState, State: &s}), evs.Safe)
 	e.metrics.Exchanges++
-	e.st = ExchangeStates
+	e.setState(ExchangeStates)
 }
 
 func (e *Engine) buildStateMsg() stateMsg {
@@ -169,6 +308,7 @@ func (e *Engine) buildStateMsg() stateMsg {
 	return stateMsg{
 		Server:        e.id,
 		Conf:          e.conf.ID,
+		Round:         e.exchRound,
 		RedCut:        redCut,
 		GreenCount:    e.queue.greenCount(),
 		BaseGreen:     e.queue.base,
@@ -184,6 +324,10 @@ func (e *Engine) buildStateMsg() stateMsg {
 // lines, compute knowledge, and either start constructing the primary
 // component or settle into NonPrim.
 func (e *Engine) endOfRetrans() {
+	// Every member's red cut now equals the plan's maxRedCut, so the
+	// buffered live actions — delivered in the same total order to all —
+	// are accepted or rejected identically everywhere.
+	e.flushLiveBuf()
 	for _, s := range e.stateMsgs {
 		if s.GreenCount > e.greenKnown[s.Server] {
 			e.greenKnown[s.Server] = s.GreenCount
@@ -205,19 +349,49 @@ func (e *Engine) endOfRetrans() {
 			Bits:         map[types.ServerID]bool{e.id: true},
 		}
 		e.persistState()
-		e.syncLog()
+		e.syncLog("construct")
 		c := cpcMsg{Server: e.id, Conf: e.conf.ID}
 		_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emCPC, CPC: &c}), evs.Safe)
-		e.st = Construct
+		e.setState(Construct)
 		return
 	}
 	e.persistState()
-	e.syncLog()
-	e.st = NonPrim
+	e.syncLog("nonprim")
+	e.setState(NonPrim)
 	e.rebuildDirtyOverlay()
 	e.handleBuffered()
 	e.processPendingJoins()
+	e.regenerateOngoing()
 	e.collectWhite()
+}
+
+// flushLiveBuf moves actions buffered during an exchange into the red
+// zone (in their total-order arrival sequence).
+func (e *Engine) flushLiveBuf() {
+	if len(e.liveBuf) == 0 {
+		return
+	}
+	buf := e.liveBuf
+	e.liveBuf = nil
+	for _, a := range buf {
+		e.markRed(a, true)
+	}
+}
+
+// regenerateOngoing re-multicasts locally created actions that never
+// reached this server's own red cut: their original multicast died with
+// an old configuration (membership changed between creation and
+// delivery). The ongoing queue exists precisely so such actions are
+// never lost (paper A.14); without re-sending them, the client's action
+// would sit in limbo until this server next recovers from its log.
+func (e *Engine) regenerateOngoing() {
+	for idx := e.redCut[e.id] + 1; ; idx++ {
+		a, ok := e.ongoing[types.ActionID{Server: e.id, Index: idx}]
+		if !ok {
+			return
+		}
+		e.generate(a)
+	}
 }
 
 // install implements the paper's Install procedure: yellow actions turn
@@ -238,12 +412,13 @@ func (e *Engine) install() {
 	e.prim.AttemptIndex = e.attemptIndex
 	e.prim.Servers = append([]types.ServerID(nil), e.vuln.Set...)
 	e.attemptIndex = 0
+	e.recordInstall(e.prim)
 	for _, a := range e.queue.redsCanonical() {
 		e.applyGreen(a) // OR-2
 	}
 	e.db.ResetDirty()
 	e.persistState()
-	e.syncLog()
+	e.syncLog("install")
 	e.collectWhite()
 }
 
@@ -341,7 +516,10 @@ func (e *Engine) applyGreen(a types.Action) {
 	}
 	e.metrics.Applied++
 	e.appendLog(logRecord{T: recGreen, ID: &a.ID, GreenSeq: seq})
+	e.histMu.Lock()
 	e.history = append(e.history, a.ID)
+	e.histMu.Unlock()
+	e.notifyWatchers()
 	e.greenKnown[e.id] = e.queue.greenCount()
 	if a.ID.Index > e.orderedIdx[a.ID.Server] {
 		e.orderedIdx[a.ID.Server] = a.ID.Index

@@ -508,7 +508,7 @@ func TestRecoveryRestoresGreensAndOngoing(t *testing.T) {
 	orphan := types.Action{ID: types.ActionID{Server: "a", Index: 4}, Type: types.ActionUpdate,
 		Update: db.EncodeUpdate(db.Add("n", 10))}
 	e.appendLog(logRecord{T: recOngoing, Action: &orphan})
-	e.syncLog()
+	e.syncLog("test")
 
 	// Recover into a fresh engine on the same (surviving) log.
 	cfg.GC = newFakeGC()

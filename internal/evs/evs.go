@@ -158,6 +158,12 @@ type Node struct {
 
 	// Everything below is owned by the run loop.
 	tickCount   uint64
+	rxPropose   uint64   // propose datagrams received (pre-filter), debug only
+	rxFlush     uint64   // flush-state datagrams received (pre-filter), debug only
+	rxDone      uint64   // flush-done datagrams received (pre-filter), debug only
+	txDone      uint64   // flush-done datagrams multicast, debug only
+	rejDone     string   // last rejected flush-done (conf@from), debug only
+	trace       []string // recent membership transitions, debug only
 	phase       phase
 	conf        *confState
 	oldConfID   types.ConfID // id of last installed regular conf (zero before first)
@@ -225,6 +231,14 @@ func (a *atomicString) load() string {
 // Debug returns a snapshot of the node's protocol state for diagnostics.
 func (n *Node) Debug() string { return n.dbg.load() }
 
+// traceEvent records a membership transition for post-mortem dumps.
+func (n *Node) traceEvent(s string) {
+	n.trace = append(n.trace, fmt.Sprintf("t%d:%s", n.tickCount, s))
+	if len(n.trace) > 12 {
+		n.trace = n.trace[len(n.trace)-12:]
+	}
+}
+
 // snapshotDebug refreshes the debug snapshot (called from the loop).
 func (n *Node) snapshotDebug() {
 	var confID types.ConfID
@@ -244,12 +258,13 @@ func (n *Node) snapshotDebug() {
 		extra = fmt.Sprintf(" proposal=%v got=%d", n.myProposal, len(n.proposals))
 	case phaseFlush:
 		ph = "flush"
-		extra = fmt.Sprintf(" new=%v members=%d states=%d done=%d transDone=%v",
+		extra = fmt.Sprintf(" new=%v members=%d states=%d done=%d doneSent=%v transDone=%v",
 			n.flush.newConf, len(n.flush.members), len(n.flush.states),
-			len(n.flush.doneFrom), n.transDone)
+			len(n.flush.doneFrom), n.flush.doneSent, n.transDone)
 	}
-	n.dbg.store(fmt.Sprintf("phase=%s conf=%v deliv=%d hold=%d stable=%d orderMax=%d%s",
-		ph, confID, delivered, holdCut, stable, orderMax, extra))
+	n.dbg.store(fmt.Sprintf("phase=%s ticks=%d rx=%d/%d/%d tx=%d rej=%q maxC=%d conf=%v deliv=%d hold=%d stable=%d orderMax=%d%s trace=%v",
+		ph, n.tickCount, n.rxPropose, n.rxFlush, n.rxDone, n.txDone, n.rejDone, n.maxCounter,
+		confID, delivered, holdCut, stable, orderMax, extra, n.trace))
 }
 
 // Events returns the ordered stream of deliveries and view changes. The

@@ -1,6 +1,8 @@
 package evs
 
 import (
+	"fmt"
+
 	"evsdb/internal/transport"
 	"evsdb/internal/types"
 )
@@ -25,10 +27,12 @@ func (n *Node) handleWire(msg transport.Message) {
 		n.handleNack(from, m.Nack)
 	case kindPropose:
 		if m.Propose != nil {
+			n.rxPropose++
 			n.handlePropose(from, *m.Propose)
 		}
 	case kindFlushState:
 		if m.FlushState != nil {
+			n.rxFlush++
 			n.handleFlushState(from, *m.FlushState)
 		}
 	case kindRetransData:
@@ -36,6 +40,7 @@ func (n *Node) handleWire(msg transport.Message) {
 	case kindRetransOrder:
 		n.handleRetransOrder(m.RetransOrder)
 	case kindFlushDone:
+		n.rxDone++
 		n.handleFlushDone(from, m.FlushDone)
 	}
 }
@@ -148,12 +153,22 @@ func (n *Node) handleRetransOrder(ro *retransOrderMsg) {
 }
 
 func (n *Node) handleFlushDone(from types.ServerID, fd *flushDoneMsg) {
-	if fd == nil || n.phase != phaseFlush || fd.NewConf != n.flush.newConf {
+	if fd == nil {
+		n.rejDone = "nil"
+		return
+	}
+	if n.phase != phaseFlush {
+		n.rejDone = fmt.Sprintf("phase=%d got %v from %s", n.phase, fd.NewConf, from)
+		return
+	}
+	if fd.NewConf != n.flush.newConf {
+		n.rejDone = fmt.Sprintf("conf %v != mine %v from %s", fd.NewConf, n.flush.newConf, from)
 		return
 	}
 	if !n.flush.doneFrom[from] && from != n.id && n.flush.doneSent {
 		// First contact: the peer may have missed our flush-done while it
 		// was still gathering; re-announce once, event-driven.
+		n.txDone++
 		n.multicast(n.flush.members, wireMsg{Kind: kindFlushDone,
 			FlushDone: &flushDoneMsg{NewConf: n.flush.newConf}})
 	}
@@ -224,8 +239,12 @@ func (n *Node) sendAck() {
 // to recover lost datagrams, since protocol progress is event-driven.
 func (n *Node) tick() {
 	n.tickCount++
-	n.snapshotDebug()
 	resend := n.tickCount%n.cfg.ResendTicks == 0
+	if resend {
+		// The debug snapshot allocates; refreshing it on resend ticks only
+		// keeps the per-tick cost near zero at sub-millisecond tick rates.
+		n.snapshotDebug()
+	}
 	switch n.phase {
 	case phaseRegular:
 		// Reachability changes arrive on their own notification channel;
@@ -299,6 +318,7 @@ func (n *Node) tick() {
 		n.multicast(f.members, wireMsg{Kind: kindPropose, Propose: &p})
 		n.sendFlushState()
 		if f.doneSent {
+			n.txDone++
 			n.multicast(f.members, wireMsg{Kind: kindFlushDone, FlushDone: &flushDoneMsg{NewConf: f.newConf}})
 		}
 	}

@@ -1,6 +1,7 @@
 package evs
 
 import (
+	"fmt"
 	"sort"
 
 	"evsdb/internal/types"
@@ -11,6 +12,7 @@ import (
 // the member set it believes in, and agreement is reached when every
 // proposed member proposes the identical set.
 func (n *Node) enterGather() {
+	n.traceEvent(fmt.Sprintf("gather(%v)", n.reachable()))
 	n.phase = phaseGather
 	n.flush = nil
 	n.proposals = make(map[types.ServerID]proposeMsg)
@@ -121,6 +123,7 @@ func (n *Node) checkAgreement() {
 // within the transitional set, equalize, deliver the transitional
 // configuration and its messages, then synchronize installation.
 func (n *Node) enterFlush(newConf types.ConfID, members []types.ServerID) {
+	n.traceEvent(fmt.Sprintf("flush(%v %v)", newConf, members))
 	n.phase = phaseFlush
 	n.flush = &flushPhase{
 		newConf:  newConf,
@@ -160,6 +163,7 @@ func (n *Node) handleFlushState(from types.ServerID, fs flushStateMsg) {
 	if !seen && from != n.id {
 		n.sendFlushState()
 		if n.flush.doneSent {
+			n.txDone++
 			n.multicast(n.flush.members, wireMsg{Kind: kindFlushDone,
 				FlushDone: &flushDoneMsg{NewConf: n.flush.newConf}})
 		}
@@ -415,6 +419,7 @@ func (n *Node) progressFlush() {
 	if !f.doneSent {
 		f.doneSent = true
 		f.doneFrom[n.id] = true
+		n.txDone++
 		n.multicast(f.members, wireMsg{Kind: kindFlushDone, FlushDone: &flushDoneMsg{NewConf: f.newConf}})
 	}
 	for _, m := range f.members {
@@ -490,6 +495,7 @@ func (n *Node) deliverTransitional(t []types.ServerID, u flushUnion) {
 // the new configuration.
 func (n *Node) install() {
 	f := n.flush
+	n.traceEvent(fmt.Sprintf("install(%v)", f.newConf))
 	n.emit(ViewChange{Config: types.Configuration{
 		ID:      f.newConf,
 		Members: append([]types.ServerID(nil), f.members...),

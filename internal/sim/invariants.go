@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"evsdb/internal/cluster"
+	"evsdb/internal/core"
+	"evsdb/internal/types"
+)
+
+// checker accumulates cross-time observations of the cluster and asserts
+// the paper's safety properties against them:
+//
+//   - Unique primary: for every primary-component index, every server
+//     that installed it installed the same component (dynamic linear
+//     voting admits at most one primary per epoch, § 3.1).
+//   - Global persistent order: the ledger maps each global green sequence
+//     number to the action every server ever placed there; two servers
+//     disagreeing on a position — even servers that were never up at the
+//     same time — violates Theorem 1.
+//
+// It also owns the knowledge-preservation rule that makes those checks
+// sound under fault injection: a crash is only allowed when, afterwards,
+// every possible future primary component still contains at least one
+// member that held the green knowledge in memory. Without the rule a
+// schedule could legitimately erase green actions (crash every holder
+// before its next barrier) and the durability check would be vacuous.
+type checker struct {
+	mu sync.Mutex
+	// ledger is the global persistent order across the whole run: green
+	// seq -> action id, union of every server's observed history.
+	ledger map[uint64]types.ActionID
+	// ledgerBy remembers which server first established an entry (for
+	// error messages).
+	ledgerBy map[uint64]types.ServerID
+	// installs is every primary component ever observed, by PrimIndex.
+	installs map[uint64]core.PrimComponent
+	// latest is the highest-indexed observed install (zero value until
+	// the first: treated as "all nodes" by majority math).
+	latest core.PrimComponent
+	// crashRec[s] is the latest observed PrimIndex when s last crashed.
+	crashRec map[types.ServerID]uint64
+	crashed  map[types.ServerID]bool // crashed at least once, ever
+	nodes    []types.ServerID
+	err      error // first violation (sticky)
+}
+
+func newChecker(nodes []types.ServerID) *checker {
+	return &checker{
+		ledger:   make(map[uint64]types.ActionID),
+		ledgerBy: make(map[uint64]types.ServerID),
+		installs: make(map[uint64]core.PrimComponent),
+		crashRec: make(map[types.ServerID]uint64),
+		crashed:  make(map[types.ServerID]bool),
+		nodes:    nodes,
+	}
+}
+
+// observe folds the current observable state of every live replica into
+// the checker, reporting the first violation found. It reads only the
+// engines' lock-protected observability state (never Status, which does
+// a round-trip with the engine loop) so it is safe to call from the crash
+// hook, which runs on an engine goroutine.
+func (k *checker) observe(c *cluster.Cluster) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.observeLocked(c)
+}
+
+func (k *checker) observeLocked(c *cluster.Cluster) error {
+	for _, id := range k.nodes {
+		r := c.Replica(id)
+		if r == nil {
+			continue
+		}
+		for _, p := range r.Engine.InstallHistory() {
+			if seen, ok := k.installs[p.PrimIndex]; ok {
+				if !seen.Equal(p) {
+					k.fail(fmt.Errorf("two primary components share index %d: %v (at %s) vs %v",
+						p.PrimIndex, seen, id, p))
+				}
+			} else {
+				k.installs[p.PrimIndex] = p
+			}
+			if p.PrimIndex > k.latest.PrimIndex {
+				k.latest = p
+			}
+		}
+		hist, firstAt := r.Engine.GreenHistory()
+		for i, aid := range hist {
+			seq := firstAt + uint64(i)
+			if prev, ok := k.ledger[seq]; ok {
+				if prev != aid {
+					k.fail(fmt.Errorf("global order violated at green seq %d: %s placed %v, %s placed %v",
+						seq, k.ledgerBy[seq], prev, id, aid))
+				}
+			} else {
+				k.ledger[seq] = aid
+				k.ledgerBy[seq] = id
+			}
+		}
+	}
+	return k.err
+}
+
+func (k *checker) fail(err error) {
+	if k.err == nil {
+		k.err = err
+	}
+}
+
+// firstErr returns the sticky first violation.
+func (k *checker) firstErr() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.err
+}
+
+// allowCrash decides — against fresh observations — whether killing id
+// now provably preserves green knowledge, and records the crash if so.
+// Let P be the latest installed primary component. Members of P that
+// crashed since (about) P's installation may have lost unsynced greens;
+// everyone else's green knowledge is a prefix of what P's surviving
+// members hold. Dynamic linear voting requires a strict majority of P to
+// form any future primary, so knowledge survives into every future
+// primary iff the crashed-since-install members of P stay a minority.
+// The "about" is a one-index slack: an install can complete on another
+// node in the window between observing and killing, so a crash recorded
+// against index i is still counted against a primary of index i+1.
+func (k *checker) allowCrash(c *cluster.Cluster, id types.ServerID) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.observeLocked(c)
+	p := k.latest
+	members := p.Servers
+	if len(members) == 0 {
+		members = k.nodes // no install yet: bootstrap majority over everyone
+	}
+	inP := false
+	count := 0
+	for _, m := range members {
+		if m == id {
+			inP = true
+			continue
+		}
+		if rec, ok := k.crashRec[m]; ok && rec+1 >= p.PrimIndex {
+			count++
+		}
+	}
+	if inP {
+		count++
+	}
+	if count >= len(members)/2+1 {
+		return false
+	}
+	k.crashRec[id] = k.latest.PrimIndex
+	k.crashed[id] = true
+	return true
+}
+
+// everCrashed reports whether id crashed at any point in the run.
+func (k *checker) everCrashed(id types.ServerID) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.crashed[id]
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled is true when the race detector is compiled in. Instrumented
+// runs are 5-20x slower, so liveness deadlines are scaled up to keep the
+// checker from reporting starvation as a convergence failure.
+const raceEnabled = true

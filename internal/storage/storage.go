@@ -264,17 +264,52 @@ var (
 	_ Compactable = (*FileLog)(nil)
 )
 
-// OpenFileLog opens (or creates) a log file.
+// OpenFileLog opens (or creates) a log file. A torn tail left by a crash
+// mid-append is truncated away, so post-recovery appends continue from
+// the last intact record instead of landing unreachably after garbage.
 func OpenFileLog(path string, opts Options) (*FileLog, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("open log %q: %w", path, err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	valid, err := scanValidPrefix(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("scan log %q: %w", path, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("truncate torn tail of %q: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
 		_ = f.Close()
 		return nil, fmt.Errorf("seek log %q: %w", path, err)
 	}
 	return &FileLog{opts: opts.withDefaults(), path: path, f: f}, nil
+}
+
+// scanValidPrefix returns the byte length of the longest prefix of f that
+// consists of complete length-prefixed records.
+func scanValidPrefix(f *os.File) (int64, error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	var valid int64
+	var hdr [4]byte
+	for {
+		if valid+4 > size {
+			return valid, nil // torn (or absent) header
+		}
+		if _, err := f.ReadAt(hdr[:], valid); err != nil {
+			return 0, err
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[:]))
+		if valid+4+n > size {
+			return valid, nil // torn record body
+		}
+		valid += 4 + n
+	}
 }
 
 // Rewrite implements Compactable: write a sidecar, fsync it, and rename

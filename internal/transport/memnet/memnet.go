@@ -10,13 +10,13 @@
 package memnet
 
 import (
+	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"evsdb/internal/queue"
 	"evsdb/internal/transport"
 	"evsdb/internal/types"
 )
@@ -28,6 +28,17 @@ type Option func(*Network)
 // delivers synchronously, preserving per-pair FIFO trivially.
 func WithLatency(d time.Duration) Option {
 	return func(n *Network) { n.latency = d }
+}
+
+// WithJitter adds a seeded-random extra delay in [0, d) per datagram on
+// top of the base latency. Delivery is scheduled by delivery time, so
+// messages from different senders may be reordered at a receiver;
+// per-(sender, receiver) FIFO — the transport contract — is preserved by
+// clamping each pair's delivery times to be monotone. Fault-injection
+// harnesses use this to explore message orderings the zero-latency
+// network never produces.
+func WithJitter(d time.Duration) Option {
+	return func(n *Network) { n.jitter = d }
 }
 
 // WithLoss sets an independent per-datagram loss probability in [0, 1).
@@ -42,6 +53,23 @@ func WithSeed(seed int64) Option {
 	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// WithQueueCap bounds the number of datagrams queued per endpoint
+// (default DefaultQueueCap; 0 disables the bound). When a push exceeds
+// the cap the *oldest* scheduled datagram is shed and counted in
+// Stats.Overflow. Real networks drop under overload; an unbounded queue
+// instead lets sojourn time diverge when consumers fall behind producers,
+// which manifests as ancient datagrams surfacing much later — a failure
+// mode no deployed transport exhibits and one that livelocks membership
+// protocols built to tolerate loss, not unbounded delay.
+func WithQueueCap(limit int) Option {
+	return func(n *Network) { n.queueCap = limit }
+}
+
+// DefaultQueueCap is the per-endpoint scheduled-datagram bound. Normal
+// operation keeps queues far below it; only a consumer that has stopped
+// draining (or a host too slow for the configured tick rates) reaches it.
+const DefaultQueueCap = 4096
+
 // Stats counts network operations. A multicast over a broadcast medium is
 // one operation regardless of fan-out, matching the paper's cost model
 // ("one multicast message per action" vs "2n unicast messages").
@@ -50,24 +78,29 @@ type Stats struct {
 	MulticastOps uint64
 	Datagrams    uint64 // individual deliveries attempted (before loss)
 	Dropped      uint64 // deliveries suppressed by loss or disconnection
+	Overflow     uint64 // queued deliveries shed by the per-endpoint queue cap
 	Bytes        uint64
 }
 
 // Network is a collection of endpoints with controllable connectivity.
 type Network struct {
-	latency time.Duration
-	loss    float64
+	latency  time.Duration
+	jitter   time.Duration
+	loss     float64
+	queueCap int
 
 	mu        sync.Mutex
 	rng       *rand.Rand
 	endpoints map[types.ServerID]*Endpoint
 	group     map[types.ServerID]int
 	nextGroup int
+	lastAt    map[pairKey]time.Time // per-pair FIFO clamp for jittered delivery
 
 	unicastOps   atomic.Uint64
 	multicastOps atomic.Uint64
 	datagrams    atomic.Uint64
 	dropped      atomic.Uint64
+	overflow     atomic.Uint64
 	bytes        atomic.Uint64
 }
 
@@ -78,6 +111,8 @@ func New(opts ...Option) *Network {
 		group:     make(map[types.ServerID]int),
 		rng:       rand.New(rand.NewSource(1)),
 		nextGroup: 1,
+		lastAt:    make(map[pairKey]time.Time),
+		queueCap:  DefaultQueueCap,
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -97,9 +132,9 @@ func (n *Network) Attach(id types.ServerID) (*Endpoint, error) {
 	ep := &Endpoint{
 		id:      id,
 		net:     n,
-		inbox:   queue.NewUnbounded[delivery](),
 		recvCh:  make(chan transport.Message),
 		changes: make(chan struct{}, 1),
+		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
 	go ep.pump()
@@ -165,6 +200,30 @@ func (n *Network) Heal() {
 	n.notifyAllLocked()
 }
 
+// Components returns the current connectivity components over the alive
+// endpoints, each sorted, ordered by their first member. Used by
+// simulation harnesses to reason about the network they scripted.
+func (n *Network) Components() [][]types.ServerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byGroup := make(map[int][]types.ServerID)
+	for id, ep := range n.endpoints {
+		if !ep.closed.Load() {
+			byGroup[n.group[id]] = append(byGroup[n.group[id]], id)
+		}
+	}
+	var out [][]types.ServerID
+	for _, g := range byGroup {
+		out = append(out, types.SortServerIDs(g))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 // Stats returns a snapshot of the operation counters.
 func (n *Network) Stats() Stats {
 	return Stats{
@@ -172,6 +231,7 @@ func (n *Network) Stats() Stats {
 		MulticastOps: n.multicastOps.Load(),
 		Datagrams:    n.datagrams.Load(),
 		Dropped:      n.dropped.Load(),
+		Overflow:     n.overflow.Load(),
 		Bytes:        n.bytes.Load(),
 	}
 }
@@ -213,49 +273,134 @@ func (n *Network) deliver(src, dst types.ServerID, payload []byte) {
 		n.mu.Unlock()
 		return
 	}
+	delay := n.latency
+	if n.jitter > 0 && src != dst {
+		delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	at := time.Now().Add(delay)
+	if n.jitter > 0 {
+		// Per-pair FIFO: a datagram never schedules before an earlier one
+		// on the same (src, dst) link.
+		p := pairKey{src, dst}
+		if last, ok := n.lastAt[p]; ok && at.Before(last) {
+			at = last
+		}
+		n.lastAt[p] = at
+	}
 	ep := n.endpoints[dst]
 	n.mu.Unlock()
 
 	// The payload buffer is shared across recipients of a multicast;
 	// transport consumers treat received payloads as read-only.
-	ep.inbox.Push(delivery{
+	ep.push(delivery{
 		msg: transport.Message{From: src, Payload: payload},
-		at:  time.Now().Add(n.latency),
+		at:  at,
 	})
 }
+
+type pairKey struct{ src, dst types.ServerID }
 
 type delivery struct {
 	msg transport.Message
 	at  time.Time
+	seq uint64
+}
+
+// deliveryHeap orders deliveries by time, then arrival sequence.
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
 }
 
 // Endpoint is one attachment to a Network.
 type Endpoint struct {
 	id      types.ServerID
 	net     *Network
-	inbox   *queue.Unbounded[delivery]
 	recvCh  chan transport.Message
 	changes chan struct{}
+	wake    chan struct{}
 	done    chan struct{}
 	closed  atomic.Bool
+
+	mu   sync.Mutex
+	pq   deliveryHeap
+	nseq uint64
 }
 
 var _ transport.Node = (*Endpoint)(nil)
 
-// pump moves inbox entries to the receive channel, honoring per-message
-// delivery times (constant latency keeps FIFO order per sender).
+// push schedules a delivery, shedding the oldest scheduled datagram if
+// the endpoint's queue is over its cap (overload behaves as loss, which
+// the protocol layers recover from, rather than as unbounded delay,
+// which they cannot).
+func (ep *Endpoint) push(d delivery) {
+	ep.mu.Lock()
+	if ep.closed.Load() {
+		ep.mu.Unlock()
+		return
+	}
+	ep.nseq++
+	d.seq = ep.nseq
+	heap.Push(&ep.pq, d)
+	if qc := ep.net.queueCap; qc > 0 && len(ep.pq) > qc {
+		heap.Pop(&ep.pq) // heap head: the earliest-scheduled, i.e. stalest
+		ep.net.overflow.Add(1)
+		ep.net.dropped.Add(1)
+	}
+	ep.mu.Unlock()
+	select {
+	case ep.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves scheduled deliveries to the receive channel in
+// delivery-time order (earliest first; ties in arrival order).
 func (ep *Endpoint) pump() {
 	defer close(ep.recvCh)
 	for {
-		d, ok := ep.inbox.Pop()
-		if !ok {
-			return
+		ep.mu.Lock()
+		if len(ep.pq) == 0 {
+			ep.mu.Unlock()
+			select {
+			case <-ep.wake:
+				continue
+			case <-ep.done:
+				return
+			}
 		}
-		if wait := time.Until(d.at); wait > 0 {
-			time.Sleep(wait)
+		head := ep.pq[0]
+		if wait := time.Until(head.at); wait > 0 {
+			ep.mu.Unlock()
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-ep.wake: // an earlier-scheduled delivery may have arrived
+			case <-ep.done:
+				t.Stop()
+				return
+			}
+			t.Stop()
+			continue
 		}
+		heap.Pop(&ep.pq)
+		ep.mu.Unlock()
 		select {
-		case ep.recvCh <- d.msg:
+		case ep.recvCh <- head.msg:
 		case <-ep.done:
 			return
 		}
@@ -322,7 +467,9 @@ func (ep *Endpoint) Close() error {
 		return nil
 	}
 	close(ep.done)
-	ep.inbox.Close()
+	ep.mu.Lock()
+	ep.pq = nil // queued and in-flight messages are dropped
+	ep.mu.Unlock()
 	ep.net.mu.Lock()
 	if ep.net.endpoints[ep.id] == ep {
 		delete(ep.net.endpoints, ep.id)

@@ -202,3 +202,43 @@ func TestSendAfterCloseFails(t *testing.T) {
 		t.Fatal("multicast after close succeeded")
 	}
 }
+
+func TestQueueCapShedsOldest(t *testing.T) {
+	// A long latency keeps every datagram queued so the cap is exercised
+	// deterministically; the oldest scheduled datagrams must be shed and
+	// the newest survive.
+	n := New(WithLatency(200*time.Millisecond), WithQueueCap(4))
+	a := attach(t, n, "a")
+	b := attach(t, n, "b")
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Stats().Overflow; got != 6 {
+		t.Fatalf("overflow = %d, want 6", got)
+	}
+	for i := 6; i < 10; i++ {
+		_, payload := recvOne(t, b)
+		if want := string([]byte{byte('0' + i)}); payload != want {
+			t.Fatalf("delivery = %q, want %q", payload, want)
+		}
+	}
+}
+
+func TestQueueCapZeroUnbounded(t *testing.T) {
+	n := New(WithLatency(50*time.Millisecond), WithQueueCap(0))
+	a := attach(t, n, "a")
+	b := attach(t, n, "b")
+	for i := 0; i < 100; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Stats().Overflow; got != 0 {
+		t.Fatalf("overflow = %d, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		recvOne(t, b)
+	}
+}
