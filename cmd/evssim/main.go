@@ -24,6 +24,7 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", 0, "schedule seed to replay (0: explore random seeds)")
 		runs    = flag.Int("runs", 1, "repetitions of -seed, or number of random seeds to explore")
+		retry   = flag.Bool("retry", false, "use the retry-heavy generator (idempotent re-submissions racing faults)")
 		shrink  = flag.Bool("shrink", false, "minimize failing schedules by delta debugging")
 		budget  = flag.Int("shrink-budget", 150, "max re-runs the shrinker may spend")
 		verbose = flag.Bool("v", false, "print schedules and per-step progress")
@@ -50,8 +51,12 @@ func main() {
 
 	failures := 0
 	start := time.Now()
+	generate := sim.Generate
+	if *retry {
+		generate = sim.GenerateRetry
+	}
 	for i, s := range seeds {
-		sched := sim.Generate(s)
+		sched := generate(s)
 		if *verbose {
 			fmt.Printf("--- run %d/%d\n%s\n", i+1, len(seeds), sched)
 		}

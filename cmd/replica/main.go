@@ -14,6 +14,10 @@
 //	GET  /get?key=k&level=strict|weak|dirty
 //	GET  /status                     engine state, configuration, counters
 //	POST /leave                      permanently retire this replica
+//
+// Writes may carry an idempotency key (&client=ID&seq=N): retries of
+// the same key return the original reply instead of re-applying.
+// Overload answers 503 with a Retry-After hint (see -max-inflight).
 package main
 
 import (
@@ -44,13 +48,15 @@ func main() {
 
 func run() error {
 	var (
-		id       = flag.String("id", "", "server id (required)")
-		listen   = flag.String("listen", "127.0.0.1:7001", "replication listen address")
-		peerSpec = flag.String("peers", "", "comma-separated id=addr peer list")
-		httpAddr = flag.String("http", "127.0.0.1:8001", "client HTTP address")
-		walPath  = flag.String("wal", "", "write-ahead log path (default <id>.wal)")
-		recover  = flag.Bool("recover", false, "replay the WAL before starting")
-		delayed  = flag.Bool("delayed-writes", false, "use delayed (asynchronous) disk writes")
+		id          = flag.String("id", "", "server id (required)")
+		listen      = flag.String("listen", "127.0.0.1:7001", "replication listen address")
+		peerSpec    = flag.String("peers", "", "comma-separated id=addr peer list")
+		httpAddr    = flag.String("http", "127.0.0.1:8001", "client HTTP address")
+		walPath     = flag.String("wal", "", "write-ahead log path (default <id>.wal)")
+		recover     = flag.Bool("recover", false, "replay the WAL before starting")
+		delayed     = flag.Bool("delayed-writes", false, "use delayed (asynchronous) disk writes")
+		maxInFlight = flag.Int("max-inflight", 0, "admission budget for strict requests (0: default, -1: unlimited)")
+		httpTimeout = flag.Duration("http-timeout", 0, "server-side deadline per client request (0: default)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -99,18 +105,22 @@ func run() error {
 	defer gc.Close()
 
 	eng, err := core.New(core.Config{
-		ID:      types.ServerID(*id),
-		Servers: servers,
-		GC:      gc,
-		Log:     wal,
-		Recover: *recover,
+		ID:          types.ServerID(*id),
+		Servers:     servers,
+		GC:          gc,
+		Log:         wal,
+		Recover:     *recover,
+		MaxInFlight: *maxInFlight,
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 
-	mux := httpapi.New(eng, httpapi.Config{})
+	mux := httpapi.New(eng, httpapi.Config{
+		Timeout:     *httpTimeout,
+		MaxInFlight: *maxInFlight,
+	})
 
 	srv := &http.Server{Addr: *httpAddr, Handler: mux}
 	errCh := make(chan error, 1)

@@ -1,14 +1,31 @@
 // Package client is the Go client library for replica HTTP endpoints
-// (cmd/replica / internal/httpapi): typed operations, endpoint rotation
-// and failover across replicas.
+// (cmd/replica / internal/httpapi): typed operations, idempotent retries
+// and endpoint failover across replicas.
+//
+// Every write is stamped with an idempotency key (a random client id
+// plus a per-operation sequence number), so the client may safely resend
+// the same operation after a timeout or connection failure — including
+// through a different replica — and the engine applies it at most once.
+//
+// Failover policy: the client sticks to one endpoint until it fails in a
+// way that another replica could do better (connection error, 503, 502,
+// 504), then rotates. Deterministic rejections (409 aborts and other
+// 4xx) are terminal: the outcome would be identical everywhere, so no
+// rotation and no retry. Between attempts the client backs off
+// exponentially with full jitter, honoring any Retry-After hint, and
+// derives a per-attempt timeout from the caller's context so one
+// black-holed replica cannot consume the whole deadline.
 package client
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -20,7 +37,8 @@ import (
 )
 
 // ErrAborted is returned when a replicated action aborted
-// deterministically (failed guard, rejected update).
+// deterministically (failed guard, rejected update). Retrying it — on
+// any replica — would produce the same answer.
 var ErrAborted = errors.New("client: action aborted")
 
 // Level selects read consistency.
@@ -41,19 +59,40 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
-// WithRetries sets how many endpoints are tried per operation (default:
-// all of them).
+// WithRetries caps the attempts per operation (default: two passes over
+// the endpoint list).
 func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
 }
 
+// WithClientID fixes the idempotency-key client id instead of the random
+// default. A process that persists its id and next sequence number can
+// resume exactly-once submission across restarts.
+func WithClientID(id string) Option {
+	return func(c *Client) { c.clientID = id }
+}
+
+// WithBackoff tunes the retry backoff envelope: attempt n sleeps a
+// uniformly random duration in (0, min(cap, base·2ⁿ)].
+func WithBackoff(base, cap time.Duration) Option {
+	return func(c *Client) { c.backoffBase, c.backoffCap = base, cap }
+}
+
 // Client talks to one or more replicas, rotating on failure.
 type Client struct {
-	endpoints []string
-	http      *http.Client
-	retries   int
-	cursor    atomic.Uint64
+	endpoints   []string
+	http        *http.Client
+	retries     int
+	clientID    string
+	seq         atomic.Uint64
+	cursor      atomic.Uint64 // sticky endpoint index
+	backoffBase time.Duration
+	backoffCap  time.Duration
 }
+
+// minAttemptTimeout floors the per-attempt deadline slice so a nearly
+// exhausted budget still allows one real round trip.
+const minAttemptTimeout = 50 * time.Millisecond
 
 // New builds a client over the given base endpoints
 // (e.g. "http://127.0.0.1:8001").
@@ -62,19 +101,38 @@ func New(endpoints []string, opts ...Option) (*Client, error) {
 		return nil, errors.New("client: need at least one endpoint")
 	}
 	c := &Client{
-		http: &http.Client{Timeout: 35 * time.Second},
+		http:        &http.Client{Timeout: 35 * time.Second},
+		backoffBase: 25 * time.Millisecond,
+		backoffCap:  time.Second,
 	}
 	for _, e := range endpoints {
 		c.endpoints = append(c.endpoints, strings.TrimSuffix(e, "/"))
 	}
-	c.retries = len(c.endpoints)
+	c.retries = 2 * len(c.endpoints)
 	for _, opt := range opts {
 		opt(c)
 	}
 	if c.retries <= 0 {
 		c.retries = 1
 	}
+	if c.clientID == "" {
+		var buf [8]byte
+		if _, err := cryptorand.Read(buf[:]); err != nil {
+			return nil, fmt.Errorf("client: generate client id: %w", err)
+		}
+		c.clientID = hex.EncodeToString(buf[:])
+	}
 	return c, nil
+}
+
+// ClientID returns the idempotency-key client id in use.
+func (c *Client) ClientID() string { return c.clientID }
+
+// nextKey allocates the idempotency key for one logical operation; every
+// retry of that operation reuses it.
+func (c *Client) nextKey() string {
+	return "&client=" + url.QueryEscape(c.clientID) +
+		"&seq=" + strconv.FormatUint(c.seq.Add(1), 10)
 }
 
 // Set performs a strict replicated write and returns the action's global
@@ -82,7 +140,7 @@ func New(endpoints []string, opts ...Option) (*Client, error) {
 func (c *Client) Set(ctx context.Context, key, value string) (uint64, error) {
 	var res httpapi.WriteResult
 	err := c.do(ctx, http.MethodPost,
-		"/set?key="+url.QueryEscape(key)+"&value="+url.QueryEscape(value), &res)
+		"/set?key="+url.QueryEscape(key)+"&value="+url.QueryEscape(value)+c.nextKey(), &res)
 	return res.GreenSeq, err
 }
 
@@ -90,7 +148,7 @@ func (c *Client) Set(ctx context.Context, key, value string) (uint64, error) {
 func (c *Client) Add(ctx context.Context, key string, delta int64) error {
 	var res httpapi.WriteResult
 	return c.do(ctx, http.MethodPost,
-		"/add?key="+url.QueryEscape(key)+"&delta="+strconv.FormatInt(delta, 10), &res)
+		"/add?key="+url.QueryEscape(key)+"&delta="+strconv.FormatInt(delta, 10)+c.nextKey(), &res)
 }
 
 // TSSet performs a timestamped write (highest timestamp wins).
@@ -98,7 +156,7 @@ func (c *Client) TSSet(ctx context.Context, key, value string, ts int64) error {
 	var res httpapi.WriteResult
 	return c.do(ctx, http.MethodPost,
 		"/tsset?key="+url.QueryEscape(key)+"&value="+url.QueryEscape(value)+
-			"&ts="+strconv.FormatInt(ts, 10), &res)
+			"&ts="+strconv.FormatInt(ts, 10)+c.nextKey(), &res)
 }
 
 // Get reads a key at the requested consistency level.
@@ -122,42 +180,138 @@ func (c *Client) Checkpoint(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/checkpoint", &res)
 }
 
-// do runs one operation with endpoint rotation: unreachable or
-// unavailable replicas are skipped; deterministic aborts (409) are
-// terminal.
+// do runs one operation against the sticky endpoint, rotating only on
+// errors another replica could answer better, with capped exponential
+// backoff between attempts and a per-attempt slice of the caller's
+// deadline.
 func (c *Client) do(ctx context.Context, method, path string, out any) error {
-	start := int(c.cursor.Add(1))
 	var lastErr error
 	for attempt := 0; attempt < c.retries; attempt++ {
-		base := c.endpoints[(start+attempt)%len(c.endpoints)]
-		req, err := http.NewRequestWithContext(ctx, method, base+path, nil)
-		if err != nil {
-			return err
-		}
-		resp, err := c.http.Do(req)
-		if err != nil {
-			lastErr = err
-			continue // connection-level failure: try the next replica
-		}
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		_ = resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
-			if out == nil {
-				return nil
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoffFor(attempt, lastErr)); err != nil {
+				return errors.Join(err, lastErr)
 			}
-			if err := json.Unmarshal(body, out); err != nil {
-				return fmt.Errorf("decode response from %s: %w", base, err)
-			}
+		}
+		idx := int(c.cursor.Load() % uint64(len(c.endpoints)))
+		base := c.endpoints[idx]
+		attemptCtx, cancel := c.attemptContext(ctx, c.retries-attempt)
+		err := c.once(attemptCtx, method, base+path, out)
+		cancel()
+		if err == nil {
 			return nil
-		case http.StatusConflict:
-			return fmt.Errorf("%w: %s", ErrAborted, strings.TrimSpace(string(body)))
-		default:
-			lastErr = fmt.Errorf("%s: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
 		}
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return err // terminal: abort, other 4xx, decode failure
+		}
+		lastErr = re
+		if ctx.Err() != nil {
+			return errors.Join(ctx.Err(), lastErr)
+		}
+		// Safe error: the next attempt goes to the next replica.
+		c.cursor.Store(uint64(idx + 1))
 	}
 	if lastErr == nil {
 		lastErr = errors.New("client: no endpoints available")
 	}
 	return lastErr
+}
+
+// retryableError wraps failures another endpoint (or a later attempt)
+// might resolve; retryAfter carries the server's 503 hint, if any.
+type retryableError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (r *retryableError) Error() string { return r.err.Error() }
+func (r *retryableError) Unwrap() error { return r.err }
+
+// once performs a single HTTP exchange and classifies the outcome.
+func (c *Client) once(ctx context.Context, method, u string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Connection-level failure (refused, reset, black-holed until the
+		// attempt deadline): safe to retry elsewhere — writes carry
+		// idempotency keys.
+		return &retryableError{err: err}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("decode response from %s: %w", u, err)
+		}
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrAborted, strings.TrimSpace(string(body)))
+	case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+		re := &retryableError{err: fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))}
+		if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs >= 0 {
+			re.retryAfter = time.Duration(secs) * time.Second
+		}
+		return re
+	default:
+		// Anything else — 4xx in particular — is deterministic: no replica
+		// would answer differently, so do not rotate or retry.
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+// attemptContext slices the remaining deadline budget evenly over the
+// attempts still available, so one unresponsive replica cannot starve
+// the rest of the rotation.
+func (c *Client) attemptContext(ctx context.Context, attemptsLeft int) (context.Context, context.CancelFunc) {
+	deadline, ok := ctx.Deadline()
+	if !ok || attemptsLeft <= 1 {
+		return context.WithCancel(ctx)
+	}
+	remaining := time.Until(deadline)
+	per := remaining / time.Duration(attemptsLeft)
+	if per < minAttemptTimeout {
+		per = minAttemptTimeout
+	}
+	if per >= remaining {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, per)
+}
+
+// backoffFor computes the pre-attempt delay: full-jitter capped
+// exponential growth, raised to the server's Retry-After hint when one
+// was given.
+func (c *Client) backoffFor(attempt int, lastErr error) time.Duration {
+	max := c.backoffBase << (attempt - 1)
+	if max > c.backoffCap || max <= 0 {
+		max = c.backoffCap
+	}
+	d := time.Duration(rand.Int63n(int64(max) + 1))
+	var re *retryableError
+	if errors.As(lastErr, &re) && re.retryAfter > d {
+		d = re.retryAfter
+	}
+	return d
+}
+
+// sleep waits for d unless the context ends first.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -1,0 +1,247 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingServer records how many requests each endpoint received and
+// answers with the configured handler.
+type countingServer struct {
+	srv  *httptest.Server
+	mu   sync.Mutex
+	hits int
+}
+
+func newCounting(t *testing.T, h http.HandlerFunc) *countingServer {
+	t.Helper()
+	cs := &countingServer{}
+	cs.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cs.mu.Lock()
+		cs.hits++
+		cs.mu.Unlock()
+		h(w, r)
+	}))
+	t.Cleanup(cs.srv.Close)
+	return cs
+}
+
+func (cs *countingServer) count() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.hits
+}
+
+func okWrite(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"ok":true,"greenSeq":1}`))
+}
+
+// TestStickyEndpointUntilFailure: consecutive operations keep hitting
+// the same healthy endpoint; the others see no traffic.
+func TestStickyEndpointUntilFailure(t *testing.T) {
+	a := newCounting(t, okWrite)
+	b := newCounting(t, okWrite)
+	cl, err := New([]string{a.srv.URL, b.srv.URL}, WithBackoff(time.Millisecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Set(context.Background(), "k", "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.count() != 5 || b.count() != 0 {
+		t.Fatalf("hits a=%d b=%d, want sticky 5/0", a.count(), b.count())
+	}
+}
+
+// TestRotationOnConnectionError: a dead endpoint rotates to the next,
+// and the client stays on the healthy one afterwards.
+func TestRotationOnConnectionError(t *testing.T) {
+	b := newCounting(t, okWrite)
+	cl, err := New([]string{"http://127.0.0.1:1", b.srv.URL},
+		WithBackoff(time.Millisecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Set(context.Background(), "k", "v"); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	// First op paid one dead dial then rotated; the rest went straight to b.
+	if b.count() != 3 {
+		t.Fatalf("healthy endpoint hits %d, want 3", b.count())
+	}
+}
+
+// TestNoRotationOn4xx: deterministic rejections return immediately
+// without touching other endpoints.
+func TestNoRotationOn4xx(t *testing.T) {
+	a := newCounting(t, func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "bad delta", http.StatusBadRequest)
+	})
+	b := newCounting(t, okWrite)
+	cl, err := New([]string{a.srv.URL, b.srv.URL},
+		WithBackoff(time.Millisecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Set(context.Background(), "k", "v")
+	if err == nil || !strings.Contains(err.Error(), "bad delta") {
+		t.Fatalf("4xx not surfaced: %v", err)
+	}
+	if a.count() != 1 || b.count() != 0 {
+		t.Fatalf("hits a=%d b=%d: 4xx must not rotate or retry", a.count(), b.count())
+	}
+	// The client is still stuck to a: a later operation tries it first.
+	a2, _ := cl.Get(context.Background(), "k", Weak)
+	_ = a2
+	if b.count() != 0 {
+		t.Fatalf("cursor moved after 4xx (b hits %d)", b.count())
+	}
+}
+
+// TestRotationOn503HonorsRetryAfter: a 503 rotates to the next endpoint
+// after waiting at least the server's Retry-After hint.
+func TestRotationOn503HonorsRetryAfter(t *testing.T) {
+	a := newCounting(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	})
+	b := newCounting(t, okWrite)
+	cl, err := New([]string{a.srv.URL, b.srv.URL},
+		WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := cl.Set(context.Background(), "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry after %v ignored the Retry-After: 1 hint", elapsed)
+	}
+	if a.count() != 1 || b.count() != 1 {
+		t.Fatalf("hits a=%d b=%d, want one 503 then one success", a.count(), b.count())
+	}
+}
+
+// TestPerAttemptDeadlineRotatesPastBlackHole: with one replica accepting
+// connections but never answering, a single caller deadline still leaves
+// budget to rotate to the healthy replica — the per-attempt slice, not
+// the whole deadline, burns on the black hole.
+func TestPerAttemptDeadlineRotatesPastBlackHole(t *testing.T) {
+	release := make(chan struct{})
+	blackhole := newCounting(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	defer close(release)
+	b := newCounting(t, okWrite)
+	cl, err := New([]string{blackhole.srv.URL, b.srv.URL},
+		WithRetries(2), WithBackoff(time.Millisecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := cl.Set(ctx, "k", "v"); err != nil {
+		t.Fatalf("operation lost its whole deadline to the black hole: %v", err)
+	}
+	if b.count() != 1 {
+		t.Fatalf("healthy endpoint hits %d", b.count())
+	}
+}
+
+// TestWriteRetriesReuseIdempotencyKey: both attempts of a failed-over
+// write carry the same client/seq pair, and distinct operations advance
+// the sequence.
+func TestWriteRetriesReuseIdempotencyKey(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	record := func(r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.URL.Query().Get("client")+"/"+r.URL.Query().Get("seq"))
+		mu.Unlock()
+	}
+	a := newCounting(t, func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	})
+	b := newCounting(t, func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		okWrite(w, r)
+	})
+	cl, err := New([]string{a.srv.URL, b.srv.URL},
+		WithClientID("cid"), WithBackoff(time.Millisecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Set(context.Background(), "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Set(context.Background(), "k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 3 {
+		t.Fatalf("request keys %v", keys)
+	}
+	if keys[0] != "cid/1" || keys[1] != "cid/1" {
+		t.Fatalf("failover retry changed the idempotency key: %v", keys)
+	}
+	if keys[2] != "cid/2" {
+		t.Fatalf("second operation key %q, want cid/2", keys[2])
+	}
+}
+
+// TestReadsCarryNoKey: GETs are not stamped — they consume no sequence
+// numbers and need no dedup state on the server.
+func TestReadsCarryNoKey(t *testing.T) {
+	var gotQuery url.Values
+	a := newCounting(t, func(w http.ResponseWriter, r *http.Request) {
+		gotQuery = r.URL.Query()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"found":false}`))
+	})
+	cl, err := New([]string{a.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(context.Background(), "k", Weak); err != nil {
+		t.Fatal(err)
+	}
+	if gotQuery.Get("client") != "" || gotQuery.Get("seq") != "" {
+		t.Fatalf("read carried an idempotency key: %v", gotQuery)
+	}
+}
+
+// TestDeadlineExhaustionReturnsContextError: when every endpoint is down
+// and the deadline runs out mid-backoff, the caller sees the context
+// error joined with the transport failure.
+func TestDeadlineExhaustionReturnsContextError(t *testing.T) {
+	cl, err := New([]string{"http://127.0.0.1:1"},
+		WithRetries(100), WithBackoff(50*time.Millisecond, 200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err = cl.Set(ctx, "k", "v")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline exhaustion surfaced as %v", err)
+	}
+}

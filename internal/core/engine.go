@@ -97,18 +97,49 @@ type GroupCom interface {
 var (
 	ErrClosed = errors.New("core: engine closed")
 	ErrLeft   = errors.New("core: server has left the replica set")
+
+	// ErrRetryable marks transient failures: the same operation may
+	// succeed on another replica or after a delay (overload, storage
+	// failure, departed replica). Clients may safely retry — writes carry
+	// idempotency keys, so a retry never double-applies.
+	ErrRetryable = errors.New("retryable")
+	// ErrAborted marks deterministic aborts (failed CAS guard, failed
+	// procedure, malformed update, stale idempotency sequence): every
+	// replica would answer identically, so retrying is pointless.
+	ErrAborted = errors.New("aborted")
+	// ErrOverloaded is the retryable failure returned when the engine's
+	// in-flight action budget is exhausted.
+	ErrOverloaded = fmt.Errorf("%w: core: in-flight action budget exhausted", ErrRetryable)
 )
 
 // Reply answers a submitted action once its outcome is known.
 type Reply struct {
-	// Err is non-empty when the action aborted deterministically (failed
-	// CAS guard, failed procedure, malformed update).
+	// Err is non-empty when the action failed: a deterministic abort
+	// (failed CAS guard, failed procedure, malformed update) unless
+	// Retryable is set.
 	Err string
+	// Retryable marks failures that are transient rather than
+	// deterministic: overload, storage failure, a departed replica. A
+	// client may retry them elsewhere; deterministic aborts it must not.
+	Retryable bool
 	// Result holds the query part's answer, if the action had one.
 	Result db.Result
 	// GreenSeq is the action's global order position (0 for relaxed-
 	// semantics replies issued before global ordering).
 	GreenSeq uint64
+}
+
+// Failure returns nil for a successful reply, or an error wrapping
+// ErrRetryable or ErrAborted so callers (httpapi, tooling) can map the
+// outcome to retry decisions with errors.Is.
+func (r Reply) Failure() error {
+	if r.Err == "" {
+		return nil
+	}
+	if r.Retryable {
+		return fmt.Errorf("%w: %s", ErrRetryable, r.Err)
+	}
+	return fmt.Errorf("%w: %s", ErrAborted, r.Err)
 }
 
 // QueryLevel selects the consistency of a read (paper § 6).
@@ -144,6 +175,12 @@ type Config struct {
 	Quorum quorum.System
 	// Recover replays Log before starting (crash recovery).
 	Recover bool
+	// MaxInFlight bounds how many client actions may be awaiting their
+	// outcome at once (pending replies plus requests buffered across an
+	// exchange). Submissions beyond the budget are refused immediately
+	// with a retryable overload reply instead of queueing without bound.
+	// Zero means DefaultMaxInFlight; negative disables the bound.
+	MaxInFlight int
 	// SyncHook, if set, is invoked on the engine goroutine at every
 	// "** sync to disk" barrier, after the forced write completes and
 	// before any subsequent protocol message is sent. Returning true
@@ -184,7 +221,17 @@ type Metrics struct {
 	Installs uint64
 	// Retransmitted counts actions this server re-sent during exchanges.
 	Retransmitted uint64
+	// Duplicates counts keyed submissions answered from the dedup table
+	// instead of being applied a second time.
+	Duplicates uint64
+	// Overloads counts submissions refused because the in-flight budget
+	// was exhausted.
+	Overloads uint64
 }
+
+// DefaultMaxInFlight is the in-flight action budget used when
+// Config.MaxInFlight is zero.
+const DefaultMaxInFlight = 4096
 
 // Status is a snapshot of the engine's externally observable state.
 type Status struct {
@@ -197,6 +244,13 @@ type Status struct {
 	Vulnerable bool
 	ServerSet  []types.ServerID
 	Metrics    Metrics
+	// InFlight is the number of client actions currently awaiting an
+	// outcome (pending replies plus buffered requests) against the
+	// admission budget.
+	InFlight int
+	// Sessions is the number of clients tracked in the replicated dedup
+	// table.
+	Sessions int
 }
 
 // Engine is one replication server.
@@ -253,8 +307,18 @@ type Engine struct {
 	plan         *retransPlan
 	pendingGreen map[uint64]types.Action // out-of-order green retransmissions
 	buffered     []submitReq             // client requests held outside Prim/NonPrim
-	pendingReply map[types.ActionID]chan Reply
+	pendingReply map[types.ActionID][]chan Reply
 	appliedRed   map[types.ActionID]bool // relaxed actions applied eagerly
+	// Exactly-once machinery: sessions is the replicated dedup table
+	// (driven by green order, see session.go); eagerApplied marks
+	// idempotency keys whose relaxed action was applied eagerly while red
+	// under a *different* action id (a cross-component retry), so the
+	// green copy skips re-application; inflight routes a same-node retry
+	// of a not-yet-green action to the original's reply.
+	sessions     map[string]*ClientSession
+	eagerApplied map[string]bool
+	inflight     map[inflightKey]types.ActionID
+	maxInFlight  int
 	// Query fast path (§ 6): strict query-only requests in the primary
 	// are answered from the green state once every earlier local action
 	// has applied, without generating an ordered action message.
@@ -331,12 +395,19 @@ func newEngine(cfg Config) (*Engine, error) {
 		greenKnown:   make(map[types.ServerID]uint64),
 		serverSet:    make(map[types.ServerID]bool),
 		pendingGreen: make(map[uint64]types.Action),
-		pendingReply: make(map[types.ActionID]chan Reply),
+		pendingReply: make(map[types.ActionID][]chan Reply),
 		appliedRed:   make(map[types.ActionID]bool),
+		sessions:     make(map[string]*ClientSession),
+		eagerApplied: make(map[string]bool),
+		inflight:     make(map[inflightKey]types.ActionID),
 		queryWait:    make(map[types.ActionID][]submitReq),
 		joinWaiters:  make(map[types.ServerID][]chan joinResp),
 		watchers:     make(map[chan struct{}]struct{}),
 		syncHook:     cfg.SyncHook,
+		maxInFlight:  cfg.MaxInFlight,
+	}
+	if e.maxInFlight == 0 {
+		e.maxInFlight = DefaultMaxInFlight
 	}
 	for _, s := range cfg.Servers {
 		e.serverSet[s] = true
@@ -368,7 +439,16 @@ func (e *Engine) Close() {
 // as it is applied locally. Blocks across partitions until the action can
 // be globally ordered or ctx expires.
 func (e *Engine) Submit(ctx context.Context, update []byte, query []byte, sem types.Semantics) (Reply, error) {
-	ch, err := e.SubmitAsync(update, query, sem)
+	return e.SubmitKeyed(ctx, "", 0, update, query, sem)
+}
+
+// SubmitKeyed is Submit with an idempotency key: the engine applies at
+// most one green action per (client, seq) pair, so the caller may retry
+// the same operation — including through a different replica after a
+// failover — and receive the original outcome instead of a second apply.
+// An empty client submits unkeyed.
+func (e *Engine) SubmitKeyed(ctx context.Context, client string, seq uint64, update []byte, query []byte, sem types.Semantics) (Reply, error) {
+	ch, err := e.SubmitKeyedAsync(client, seq, update, query, sem)
 	if err != nil {
 		return Reply{}, err
 	}
@@ -384,9 +464,19 @@ func (e *Engine) Submit(ctx context.Context, update []byte, query []byte, sem ty
 
 // SubmitAsync injects a client action and returns the reply channel.
 func (e *Engine) SubmitAsync(update []byte, query []byte, sem types.Semantics) (<-chan Reply, error) {
+	return e.SubmitKeyedAsync("", 0, update, query, sem)
+}
+
+// SubmitKeyedAsync is SubmitKeyed returning the reply channel.
+func (e *Engine) SubmitKeyedAsync(client string, seq uint64, update []byte, query []byte, sem types.Semantics) (<-chan Reply, error) {
+	if client != "" && seq == 0 {
+		return nil, errors.New("core: keyed submission needs a sequence number >= 1")
+	}
 	a := types.Action{
 		Type:      types.ActionUpdate,
 		Semantics: sem,
+		Client:    client,
+		ClientSeq: seq,
 		Update:    update,
 		Query:     query,
 	}
@@ -628,6 +718,8 @@ func (e *Engine) statusLocked() Status {
 		Vulnerable: e.vuln.Status,
 		ServerSet:  set,
 		Metrics:    e.metrics,
+		InFlight:   len(e.pendingReply) + len(e.buffered),
+		Sessions:   len(e.sessions),
 	}
 }
 
@@ -677,14 +769,40 @@ func (e *Engine) generate(a types.Action) {
 }
 
 // handleSubmit implements the Client req event for every state: create
-// and generate in RegPrim and NonPrim, buffer elsewhere.
+// and generate in RegPrim and NonPrim, buffer elsewhere. Keyed
+// submissions are deduplicated first; admission control rejects the rest
+// once the in-flight budget is exhausted.
 func (e *Engine) handleSubmit(req submitReq) {
 	if e.left {
-		req.ch <- Reply{Err: ErrLeft.Error()}
+		req.ch <- Reply{Err: ErrLeft.Error(), Retryable: true}
 		return
 	}
 	if e.ioFailed {
-		req.ch <- Reply{Err: "core: stable storage failed; refusing new actions"}
+		req.ch <- Reply{Err: "core: stable storage failed; refusing new actions", Retryable: true}
+		return
+	}
+	if req.action.Client != "" {
+		// Fast-path dedup: an already ordered (client, seq) answers from
+		// the replicated session table; a retry of an action this server
+		// generated but has not seen green yet attaches to the original's
+		// pending reply instead of generating a second action.
+		kind, ent := e.dedupLookup(req.action.Client, req.action.ClientSeq)
+		if kind != dedupFresh {
+			e.metrics.Duplicates++
+			req.ch <- dedupReply(kind, ent)
+			return
+		}
+		if id, ok := e.inflight[inflightKey{req.action.Client, req.action.ClientSeq}]; ok {
+			if _, pending := e.pendingReply[id]; pending {
+				e.metrics.Duplicates++
+				e.pendingReply[id] = append(e.pendingReply[id], req.ch)
+				return
+			}
+		}
+	}
+	if e.maxInFlight > 0 && len(e.pendingReply)+len(e.buffered) >= e.maxInFlight {
+		e.metrics.Overloads++
+		req.ch <- Reply{Err: ErrOverloaded.Error(), Retryable: true}
 		return
 	}
 	// § 6 query optimization: a strict query-only request in the primary
@@ -731,7 +849,7 @@ func (e *Engine) createAndGenerate(req submitReq) {
 	e.ongoing[a.ID] = a
 	e.metrics.Generated++
 	e.appendLog(logRecord{T: recOngoing, Action: &a})
-	e.pendingReply[a.ID] = req.ch
+	e.trackInflight(a, req.ch)
 	e.lastLocalPending = a.ID
 	e.syncer.After(func() { e.generate(a) })
 }
@@ -753,7 +871,7 @@ func (e *Engine) handleBuffered() {
 		a.GreenLine = e.queue.greenCount()
 		e.ongoing[a.ID] = a
 		e.appendLog(logRecord{T: recOngoing, Action: &a})
-		e.pendingReply[a.ID] = req.ch
+		e.trackInflight(a, req.ch)
 		e.lastLocalPending = a.ID
 		acts = append(acts, a)
 	}
@@ -764,12 +882,16 @@ func (e *Engine) handleBuffered() {
 	})
 }
 
-// reply delivers the outcome to a locally pending client, if any.
+// reply delivers the outcome to every locally pending waiter — the
+// original submitter plus any same-node retries that attached while the
+// action was in flight.
 func (e *Engine) reply(id types.ActionID, r Reply) {
-	ch, ok := e.pendingReply[id]
+	chans, ok := e.pendingReply[id]
 	if !ok {
 		return
 	}
 	delete(e.pendingReply, id)
-	ch <- r
+	for _, ch := range chans {
+		ch <- r
+	}
 }

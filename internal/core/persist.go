@@ -223,10 +223,20 @@ func (e *Engine) replayTrackRed(a types.Action) {
 		return
 	}
 	if a.Semantics == types.SemCommutative || a.Semantics == types.SemTimestamp {
+		if a.Client != "" {
+			if kind, _ := e.dedupLookup(a.Client, a.ClientSeq); kind != dedupFresh {
+				// A checkpoint earlier in the log already incorporates
+				// this idempotency key: re-applying would double-apply.
+				return
+			}
+		}
 		if len(a.Update) > 0 {
 			_ = e.db.Apply(a.Update)
 		}
 		e.appliedRed[a.ID] = true
+		if a.Client != "" {
+			e.eagerApplied[eagerKey(a.Client, a.ClientSeq)] = true
+		}
 	}
 }
 

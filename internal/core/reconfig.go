@@ -26,6 +26,10 @@ type JoinSnapshot struct {
 	GreenKnown map[types.ServerID]uint64 `json:"greenKnown"`
 	// Prim is the last primary component known at the snapshot point.
 	Prim PrimComponent `json:"prim"`
+	// Clients is the replicated dedup table at the snapshot point. Like
+	// the database it is a deterministic function of the green prefix, so
+	// a restoring server adopts it wholesale.
+	Clients map[string]*ClientSession `json:"clients,omitempty"`
 }
 
 // buildJoinSnapshot captures the current green state for a joiner.
@@ -54,6 +58,7 @@ func (e *Engine) buildJoinSnapshot() *JoinSnapshot {
 			AttemptIndex: e.prim.AttemptIndex,
 			Servers:      append([]types.ServerID(nil), e.prim.Servers...),
 		},
+		Clients: cloneSessions(e.sessions),
 	}
 }
 
@@ -81,6 +86,10 @@ func (e *Engine) restoreSnapshot(snap *JoinSnapshot) error {
 	}
 	e.greenKnown[e.id] = snap.GreenCount
 	e.prim = snap.Prim
+	e.sessions = make(map[string]*ClientSession, len(snap.Clients))
+	for c, s := range snap.Clients {
+		e.sessions[c] = s.clone()
+	}
 	// The green order below the snapshot point is inherited, not recorded:
 	// the observable history restarts at the snapshot's green line.
 	e.histMu.Lock()
@@ -162,10 +171,13 @@ func (e *Engine) applyLeave(a types.Action) {
 	if target == e.id {
 		e.left = true
 		// Answer anything still pending; this replica is done.
-		for id, ch := range e.pendingReply {
-			ch <- Reply{Err: ErrLeft.Error()}
+		for id, chans := range e.pendingReply {
+			for _, ch := range chans {
+				ch <- Reply{Err: ErrLeft.Error(), Retryable: true}
+			}
 			delete(e.pendingReply, id)
 		}
+		e.inflight = make(map[inflightKey]types.ActionID)
 	}
 }
 

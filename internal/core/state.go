@@ -191,11 +191,20 @@ func (e *Engine) applyCatchUp(snap *JoinSnapshot) {
 	}
 	e.appendLog(logRecord{T: recCheckpoint, Snap: snap})
 	e.appliedRed = make(map[types.ActionID]bool)
+	e.eagerApplied = make(map[string]bool)
 	for _, a := range keep {
 		if !e.markRed(a, false) {
 			continue
 		}
 		if wasApplied[a.ID] {
+			if a.Client != "" {
+				if kind, _ := e.dedupLookup(a.Client, a.ClientSeq); kind != dedupFresh {
+					// The restored snapshot already incorporates this key
+					// (a retried copy turned green before the snapshot was
+					// cut): redoing the eager apply would double-apply.
+					continue
+				}
+			}
 			// Relaxed action already applied and answered while red: redo
 			// its effect on the restored database (its green record will
 			// skip re-application, as after a replay).
@@ -203,17 +212,27 @@ func (e *Engine) applyCatchUp(snap *JoinSnapshot) {
 				_ = e.db.Apply(a.Update)
 			}
 			e.appliedRed[a.ID] = true
+			if a.Client != "" {
+				e.eagerApplied[eagerKey(a.Client, a.ClientSeq)] = true
+			}
 		}
 	}
 	// Locally pending actions incorporated in the snapshot were greened
 	// elsewhere; applyGreen will never run for them here, so answer their
 	// clients now. The snapshot only bounds the position: report its green
 	// count, the latest position the action can occupy.
-	for id, ch := range e.pendingReply {
+	for id, chans := range e.pendingReply {
 		if id.Index <= snap.OrderedIdx[id.Server] {
 			delete(e.pendingReply, id)
-			ch <- Reply{GreenSeq: snap.GreenCount}
+			for _, ch := range chans {
+				ch <- Reply{GreenSeq: snap.GreenCount}
+			}
 			e.releaseQueries(id)
+		}
+	}
+	for k, id := range e.inflight {
+		if _, pending := e.pendingReply[id]; !pending {
+			delete(e.inflight, k)
 		}
 	}
 	for id := range e.ongoing {
@@ -451,6 +470,24 @@ func (e *Engine) trackRed(a types.Action) {
 	}
 	switch a.Semantics {
 	case types.SemCommutative, types.SemTimestamp:
+		if a.Client != "" {
+			// A keyed relaxed action whose key already applied here — as a
+			// recorded green, or eagerly under another action id — answers
+			// without a second apply. The copy stays red and resolves at
+			// green time through the dedup paths in applyGreen.
+			if kind, ent := e.dedupLookup(a.Client, a.ClientSeq); kind != dedupFresh {
+				e.metrics.Duplicates++
+				delete(e.inflight, inflightKey{a.Client, a.ClientSeq})
+				e.reply(a.ID, dedupReply(kind, ent))
+				return
+			}
+			if e.eagerApplied[eagerKey(a.Client, a.ClientSeq)] {
+				e.metrics.Duplicates++
+				delete(e.inflight, inflightKey{a.Client, a.ClientSeq})
+				e.reply(a.ID, Reply{})
+				return
+			}
+		}
 		var errStr string
 		if len(a.Update) > 0 {
 			if err := e.db.Apply(a.Update); err != nil {
@@ -458,6 +495,10 @@ func (e *Engine) trackRed(a types.Action) {
 			}
 		}
 		e.appliedRed[a.ID] = true
+		if a.Client != "" {
+			e.eagerApplied[eagerKey(a.Client, a.ClientSeq)] = true
+			delete(e.inflight, inflightKey{a.Client, a.ClientSeq})
+		}
 		// Relaxed clients get their answer immediately (paper § 6).
 		r := Reply{Err: errStr}
 		if errStr == "" && len(a.Query) > 0 {
@@ -534,9 +575,40 @@ func (e *Engine) applyGreen(a types.Action) {
 		return
 	}
 
+	if a.Client != "" {
+		delete(e.inflight, inflightKey{a.Client, a.ClientSeq})
+		// Keyed dedup, driven by the green order so it is identical
+		// everywhere: a second green copy of the same (client, seq) — a
+		// retry that was ordered through another replica — must never
+		// apply again. The duplicate still occupies its green position
+		// (the total order already fixed that); only its effect is
+		// suppressed, and its waiters get the original outcome.
+		if kind, ent := e.dedupLookup(a.Client, a.ClientSeq); kind != dedupFresh {
+			e.metrics.Duplicates++
+			delete(e.appliedRed, a.ID) // eager copy resolved by the dup
+			e.reply(a.ID, dedupReply(kind, ent))
+			e.releaseQueries(a.ID)
+			return
+		}
+	}
+
 	if e.appliedRed[a.ID] {
 		// Relaxed action already applied (and answered) while red.
 		delete(e.appliedRed, a.ID)
+		if a.Client != "" {
+			delete(e.eagerApplied, eagerKey(a.Client, a.ClientSeq))
+			e.recordDedup(a.Client, a.ClientSeq, DedupEntry{GreenSeq: seq})
+		}
+		return
+	}
+	if a.Client != "" && e.eagerApplied[eagerKey(a.Client, a.ClientSeq)] {
+		// A different copy of this key (another action id, same retry) was
+		// applied eagerly here while red: this green copy fixes the global
+		// position but must not re-apply the update.
+		delete(e.eagerApplied, eagerKey(a.Client, a.ClientSeq))
+		e.recordDedup(a.Client, a.ClientSeq, DedupEntry{GreenSeq: seq})
+		e.reply(a.ID, Reply{GreenSeq: seq})
+		e.releaseQueries(a.ID)
 		return
 	}
 	var errStr string
@@ -552,6 +624,9 @@ func (e *Engine) applyGreen(a types.Action) {
 		} else {
 			r.Err = qerr.Error()
 		}
+	}
+	if a.Client != "" {
+		e.recordDedup(a.Client, a.ClientSeq, DedupEntry{GreenSeq: seq, Err: r.Err, Result: r.Result})
 	}
 	e.reply(a.ID, r)
 	e.releaseQueries(a.ID)

@@ -11,11 +11,24 @@
 //	GET  /status                     engine state and counters
 //	POST /checkpoint                 compact the WAL
 //	POST /leave                      permanently retire this replica
+//
+// Write endpoints accept an optional idempotency key
+// (&client=ID&seq=N): the engine applies at most one action per key and
+// answers retries with the original reply, so clients may resend the
+// same operation through any replica after a timeout or failover.
+//
+// Error taxonomy: deterministic aborts (including replies replayed from
+// the dedup table) return 409 and must not be retried; retryable
+// conditions — overload, replica left, storage failure — return 503
+// with a Retry-After hint; a request that exhausts its deadline returns
+// 504. Weak and dirty reads bypass admission control and keep working
+// while the replica is partitioned out of the primary component.
 package httpapi
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"time"
@@ -34,12 +47,16 @@ type Status struct {
 	PrimIndex  uint64   `json:"primIndex"`
 	Vulnerable bool     `json:"vulnerable"`
 	Servers    []string `json:"servers"`
+	InFlight   int      `json:"inFlight"`
+	Sessions   int      `json:"sessions"`
 
 	ActionsGenerated     uint64 `json:"actionsGenerated"`
 	ActionsApplied       uint64 `json:"actionsApplied"`
 	Exchanges            uint64 `json:"exchanges"`
 	PrimariesInstalled   uint64 `json:"primariesInstalled"`
 	ActionsRetransmitted uint64 `json:"actionsRetransmitted"`
+	Duplicates           uint64 `json:"duplicates"`
+	Overloads            uint64 `json:"overloads"`
 }
 
 // WriteResult is the JSON shape of successful write operations.
@@ -60,25 +77,106 @@ type ReadResult struct {
 type Config struct {
 	// Timeout bounds each replicated operation. Default 30s.
 	Timeout time.Duration
+	// MaxInFlight bounds how many replicated operations this handler
+	// admits concurrently, before they even reach the engine; requests
+	// beyond it answer 503 + Retry-After immediately instead of stacking
+	// goroutines behind a stalled engine. Zero means DefaultMaxInFlight;
+	// negative disables the gate. Weak/dirty reads and status requests
+	// bypass it.
+	MaxInFlight int
+	// RetryAfter is the hint returned in the Retry-After header on 503
+	// responses. Default 1s.
+	RetryAfter time.Duration
 }
+
+// DefaultMaxInFlight is the handler admission budget used when
+// Config.MaxInFlight is zero.
+const DefaultMaxInFlight = 1024
 
 // New builds the HTTP handler for one engine.
 func New(eng *core.Engine, cfg Config) http.Handler {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	var admit chan struct{}
+	if cfg.MaxInFlight > 0 {
+		admit = make(chan struct{}, cfg.MaxInFlight)
+	}
+	retryAfterSecs := strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second))
+
+	overloaded := func(w http.ResponseWriter, msg string) {
+		w.Header().Set("Retry-After", retryAfterSecs)
+		http.Error(w, msg, http.StatusServiceUnavailable)
+	}
+	// acquire takes an admission slot without blocking; a full gate is an
+	// immediate overload answer.
+	acquire := func(w http.ResponseWriter) bool {
+		if admit == nil {
+			return true
+		}
+		select {
+		case admit <- struct{}{}:
+			return true
+		default:
+			overloaded(w, "httpapi: too many in-flight requests")
+			return false
+		}
+	}
+	release := func() {
+		if admit != nil {
+			<-admit
+		}
+	}
+
+	// fail maps an operation error to its HTTP status: retryable errors
+	// invite the client back with Retry-After, deterministic aborts tell
+	// it to stop, deadline exhaustion is a gateway timeout.
+	fail := func(w http.ResponseWriter, err error) {
+		switch {
+		case errors.Is(err, core.ErrRetryable):
+			overloaded(w, err.Error())
+		case errors.Is(err, core.ErrAborted):
+			http.Error(w, err.Error(), http.StatusConflict)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		default:
+			overloaded(w, err.Error())
+		}
+	}
+
 	mux := http.NewServeMux()
 
 	submit := func(w http.ResponseWriter, r *http.Request, update []byte, sem types.Semantics) {
-		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
-		defer cancel()
-		reply, err := eng.Submit(ctx, update, nil, sem)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		if !acquire(w) {
 			return
 		}
-		if reply.Err != "" {
-			http.Error(w, reply.Err, http.StatusConflict)
+		defer release()
+		q := r.URL.Query()
+		client := q.Get("client")
+		var seq uint64
+		if client != "" {
+			var err error
+			seq, err = strconv.ParseUint(q.Get("seq"), 10, 64)
+			if err != nil || seq == 0 {
+				http.Error(w, "bad seq: idempotency keys need client and seq >= 1", http.StatusBadRequest)
+				return
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
+		defer cancel()
+		reply, err := eng.SubmitKeyed(ctx, client, seq, update, nil, sem)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		if ferr := reply.Failure(); ferr != nil {
+			fail(w, ferr)
 			return
 		}
 		writeJSON(w, WriteResult{OK: true, GreenSeq: reply.GreenSeq})
@@ -110,16 +208,32 @@ func New(eng *core.Engine, cfg Config) http.Handler {
 		q := r.URL.Query()
 		level := core.QueryWeak
 		switch q.Get("level") {
+		case "", "weak":
 		case "strict":
 			level = core.QueryStrict
 		case "dirty":
 			level = core.QueryDirty
+		default:
+			// A typo'd level must not silently downgrade a read the caller
+			// believed was strict.
+			http.Error(w, "bad level (want strict|weak|dirty)", http.StatusBadRequest)
+			return
+		}
+		// Strict reads are globally ordered operations and count against
+		// admission; weak and dirty reads answer from local state in any
+		// engine state — they are the degraded-mode path and must keep
+		// working under overload and in NonPrim.
+		if level == core.QueryStrict {
+			if !acquire(w) {
+				return
+			}
+			defer release()
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
 		defer cancel()
 		res, err := eng.Query(ctx, db.Get(q.Get("key")), level)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			fail(w, err)
 			return
 		}
 		writeJSON(w, ReadResult{
@@ -136,7 +250,7 @@ func New(eng *core.Engine, cfg Config) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
 		defer cancel()
 		if err := eng.Checkpoint(ctx); err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			fail(w, err)
 			return
 		}
 		writeJSON(w, map[string]bool{"ok": true})
@@ -145,7 +259,7 @@ func New(eng *core.Engine, cfg Config) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
 		defer cancel()
 		if err := eng.Leave(ctx); err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			fail(w, err)
 			return
 		}
 		writeJSON(w, map[string]string{"status": "leaving"})
@@ -167,12 +281,16 @@ func StatusView(st core.Status) Status {
 		PrimIndex:  st.Prim.PrimIndex,
 		Vulnerable: st.Vulnerable,
 		Servers:    servers,
+		InFlight:   st.InFlight,
+		Sessions:   st.Sessions,
 
 		ActionsGenerated:     st.Metrics.Generated,
 		ActionsApplied:       st.Metrics.Applied,
 		Exchanges:            st.Metrics.Exchanges,
 		PrimariesInstalled:   st.Metrics.Installs,
 		ActionsRetransmitted: st.Metrics.Retransmitted,
+		Duplicates:           st.Metrics.Duplicates,
+		Overloads:            st.Metrics.Overloads,
 	}
 }
 

@@ -28,6 +28,11 @@ const (
 	StepRecover
 	// StepSettle lets the cluster run undisturbed for Ms milliseconds.
 	StepSettle
+	// StepRetry re-submits an earlier submission's idempotency key —
+	// possibly through a different node — racing the original through
+	// partitions, crashes and view changes. The dedup invariant says the
+	// key still applies at most once and every reply agrees.
+	StepRetry
 )
 
 // Step is one schedule entry. Nodes are ordinals into the cluster's
@@ -40,6 +45,7 @@ type Step struct {
 	Groups [][]int // StepPartition: ordinals per component
 	Point  string  // StepCrashAt: barrier name, "*" = any barrier
 	Ms     int     // StepSettle: duration in milliseconds
+	Sub    int     // StepRetry: ordinal of the submission to re-send
 }
 
 // Schedule is a reproducible fault-injection scenario: everything about
@@ -49,6 +55,9 @@ type Schedule struct {
 	Seed  int64
 	Nodes int
 	Steps []Step
+	// Retry marks schedules produced by GenerateRetry, so failure reports
+	// print the right replay command.
+	Retry bool
 }
 
 // crashPoints are the barrier names StepCrashAt can target (see the
@@ -104,6 +113,64 @@ func Generate(seed int64) *Schedule {
 	return s
 }
 
+// GenerateRetry derives a random schedule biased toward client retries
+// racing faults: every few submissions, an earlier idempotency key is
+// re-sent through a (usually different) node while partitions, barrier
+// crashes and recoveries churn underneath. Generate's rng consumption is
+// left untouched so the vetted regression corpus keeps its meaning; this
+// generator owns its own seed space.
+func GenerateRetry(seed int64) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, Nodes: 3 + rng.Intn(3), Retry: true}
+	steps := 14 + rng.Intn(16)
+	up := make([]bool, s.Nodes)
+	for i := range up {
+		up[i] = true
+	}
+	downCount, nsub := 0, 0
+	for len(s.Steps) < steps {
+		switch w := rng.Intn(100); {
+		case w < 30:
+			s.Steps = append(s.Steps, Step{Kind: StepSubmit, Node: rng.Intn(s.Nodes)})
+			nsub++
+		case w < 50:
+			if nsub == 0 {
+				continue
+			}
+			s.Steps = append(s.Steps, Step{
+				Kind: StepRetry,
+				Node: rng.Intn(s.Nodes),
+				Sub:  rng.Intn(nsub),
+			})
+		case w < 62:
+			s.Steps = append(s.Steps, Step{Kind: StepPartition, Groups: randGroups(rng, s.Nodes)})
+		case w < 70:
+			s.Steps = append(s.Steps, Step{Kind: StepHeal})
+		case w < 78:
+			if n := rng.Intn(s.Nodes); up[n] && downCount+1 < (s.Nodes+2)/2 {
+				kind := StepCrash
+				point := ""
+				if rng.Intn(2) == 0 {
+					kind = StepCrashAt
+					point = crashPoints[rng.Intn(len(crashPoints))]
+				}
+				s.Steps = append(s.Steps, Step{Kind: kind, Node: n, Point: point})
+				up[n] = false
+				downCount++
+			}
+		case w < 90:
+			if n := rng.Intn(s.Nodes); !up[n] {
+				s.Steps = append(s.Steps, Step{Kind: StepRecover, Node: n})
+				up[n] = true
+				downCount--
+			}
+		default:
+			s.Steps = append(s.Steps, Step{Kind: StepSettle, Ms: 5 + rng.Intn(25)})
+		}
+	}
+	return s
+}
+
 // randGroups partitions ordinals 0..n-1 into 1–3 shuffled components.
 func randGroups(rng *rand.Rand, n int) [][]int {
 	order := rng.Perm(n)
@@ -142,6 +209,8 @@ func (st Step) String() string {
 		return fmt.Sprintf("recover@%d", st.Node)
 	case StepSettle:
 		return fmt.Sprintf("settle:%dms", st.Ms)
+	case StepRetry:
+		return fmt.Sprintf("retry#%d@%d", st.Sub, st.Node)
 	default:
 		return fmt.Sprintf("step(%d)", int(st.Kind))
 	}

@@ -44,11 +44,24 @@ type Result struct {
 // Failed reports whether the run violated an invariant.
 func (r *Result) Failed() bool { return r.Err != nil }
 
-type pendingSubmit struct {
+// submitAttempt is one transmission of a submission: the original or a
+// retry, each with its own reply channel and origin node.
+type submitAttempt struct {
 	origin types.ServerID
-	key    string
-	val    string
 	ch     <-chan core.Reply
+}
+
+// pendingSubmit tracks one logical client operation across all its
+// attempts. Every attempt reuses the same idempotency key (client, seq)
+// and the same update — a Set of the payload plus a strict counter
+// increment on "ctr:"+key whose final value exposes any double apply.
+type pendingSubmit struct {
+	key      string
+	val      string
+	client   string
+	seq      uint64
+	update   []byte
+	attempts []submitAttempt
 }
 
 type runner struct {
@@ -63,9 +76,13 @@ type runner struct {
 	armed map[types.ServerID]string
 	fired []types.ServerID
 
-	subs []pendingSubmit
+	subs []*pendingSubmit
 	nsub int
 }
+
+// simClient is the idempotency-key client id used by every scheduled
+// submission; sequence numbers distinguish operations.
+const simClient = "sim"
 
 // Run executes one schedule and checks every invariant. It is safe to
 // run multiple schedules concurrently (each gets its own cluster).
@@ -210,7 +227,11 @@ func probeStatus(eng *core.Engine) string {
 
 // seeded wraps a failure so every report carries the replay seed.
 func (r *runner) seeded(err error) error {
-	return fmt.Errorf("seed %d: %w (replay: go run ./cmd/evssim -seed %d)", r.sched.Seed, err, r.sched.Seed)
+	flag := ""
+	if r.sched.Retry {
+		flag = " -retry"
+	}
+	return fmt.Errorf("seed %d: %w (replay: go run ./cmd/evssim%s -seed %d)", r.sched.Seed, err, flag, r.sched.Seed)
 }
 
 // hook runs on an engine goroutine at each sync barrier: an armed,
@@ -264,11 +285,36 @@ func (r *runner) apply(st Step) bool {
 		r.nsub++
 		key := fmt.Sprintf("k%04d", r.nsub)
 		val := fmt.Sprintf("v%d-%d", r.sched.Seed, r.nsub)
-		ch, err := rep.Engine.SubmitAsync(db.EncodeUpdate(db.Set(key, val)), nil, types.SemStrict)
+		sub := &pendingSubmit{
+			key: key, val: val,
+			client: simClient, seq: uint64(r.nsub),
+			update: db.EncodeUpdate(db.Set(key, val), db.Add("ctr:"+key, 1)),
+		}
+		ch, err := rep.Engine.SubmitKeyedAsync(sub.client, sub.seq, sub.update, nil, types.SemStrict)
 		if err != nil {
 			return false
 		}
-		r.subs = append(r.subs, pendingSubmit{origin: id, key: key, val: val, ch: ch})
+		sub.attempts = append(sub.attempts, submitAttempt{origin: id, ch: ch})
+		r.subs = append(r.subs, sub)
+		return true
+	case StepRetry:
+		if len(r.subs) == 0 {
+			return false
+		}
+		sub := r.subs[st.Sub%len(r.subs)]
+		id := r.pickAlive(st.Node)
+		if id == "" {
+			return false
+		}
+		rep := r.c.Replica(id)
+		if rep == nil {
+			return false
+		}
+		ch, err := rep.Engine.SubmitKeyedAsync(sub.client, sub.seq, sub.update, nil, types.SemStrict)
+		if err != nil {
+			return false
+		}
+		sub.attempts = append(sub.attempts, submitAttempt{origin: id, ch: ch})
 		return true
 	case StepPartition:
 		groups := make([][]types.ServerID, 0, len(st.Groups))
@@ -383,30 +429,38 @@ func (r *runner) finale() error {
 		return err
 	}
 
-	// Collect replies: every submission green-replied to a client must
-	// survive in the final state (the crash rule guarantees knowledge was
-	// never erased, so this is exact, not best-effort). Channels from
-	// never-crashed origins are awaited — liveness says the reply comes;
-	// channels whose origin crashed may never be answered.
-	var expect []pendingSubmit
+	// Collect replies: every attempt of a submission whose origin never
+	// crashed must be answered (liveness says the reply comes; channels
+	// whose origin crashed may never be). A submission counts as
+	// acknowledged when any attempt green-replied to the client — the
+	// crash rule guarantees that knowledge was never erased, so the
+	// durability check below is exact, not best-effort.
+	var expect []*pendingSubmit
 	for _, s := range r.subs {
-		if r.chk.everCrashed(s.origin) {
-			select {
-			case rep := <-s.ch:
-				if rep.Err == "" && rep.GreenSeq > 0 {
-					expect = append(expect, s)
+		acked := false
+		for _, at := range s.attempts {
+			var rep core.Reply
+			var got bool
+			if r.chk.everCrashed(at.origin) {
+				select {
+				case rep = <-at.ch:
+					got = true
+				default:
 				}
-			default:
+			} else {
+				select {
+				case rep = <-at.ch:
+					got = true
+				case <-time.After(time.Until(deadline)):
+					return fmt.Errorf("submission %s at %s never answered after convergence", s.key, at.origin)
+				}
 			}
-			continue
+			if got && rep.Err == "" && rep.GreenSeq > 0 {
+				acked = true
+			}
 		}
-		select {
-		case rep := <-s.ch:
-			if rep.Err == "" && rep.GreenSeq > 0 {
-				expect = append(expect, s)
-			}
-		case <-time.After(time.Until(deadline)):
-			return fmt.Errorf("submission %s at %s never answered after convergence", s.key, s.origin)
+		if acked {
+			expect = append(expect, s)
 		}
 	}
 
@@ -422,15 +476,39 @@ func (r *runner) finale() error {
 	if err := r.checkStateEquality(); err != nil {
 		return err
 	}
+	rep := r.c.Replica(r.ids[0])
 	for _, s := range expect {
-		rep := r.c.Replica(r.ids[0])
 		res, err := rep.DB.QueryGreen(db.Get(s.key))
 		if err != nil {
 			return fmt.Errorf("durability query %s: %w", s.key, err)
 		}
 		if res.Value != s.val {
-			return fmt.Errorf("durability violated: green-replied %s=%s (origin %s) reads %q after convergence",
-				s.key, s.val, s.origin, res.Value)
+			return fmt.Errorf("durability violated: green-replied %s=%s reads %q after convergence",
+				s.key, s.val, res.Value)
+		}
+	}
+	// Exactly-once: each submission bumps a per-key counter, and every
+	// attempt reuses the idempotency key, so after convergence the counter
+	// reads at most 1 no matter how many retries raced the original —
+	// and exactly 1 for any submission a client saw acknowledged.
+	for _, s := range r.subs {
+		res, err := rep.DB.QueryGreen(db.Get("ctr:" + s.key))
+		if err != nil {
+			return fmt.Errorf("dedup counter query %s: %w", s.key, err)
+		}
+		switch {
+		case res.Value == "" || res.Value == "1":
+			// applied at most once (or never reached the green zone)
+		default:
+			return fmt.Errorf("exactly-once violated: key %s (%d attempts) applied %s times",
+				s.key, len(s.attempts), res.Value)
+		}
+		if res.Value == "" {
+			for _, e := range expect {
+				if e == s {
+					return fmt.Errorf("exactly-once violated: key %s acknowledged green but counter never applied", s.key)
+				}
+			}
 		}
 	}
 	r.opts.Logf("sim seed=%d: converged, %d submissions (%d green-verified), ledger %d greens, %d installs",

@@ -58,6 +58,36 @@ func TestSimCorpus(t *testing.T) {
 	}
 }
 
+// retryCorpus is the fixed seed set for the retry-heavy generator:
+// idempotent re-submissions of earlier keys race partitions, barrier
+// crashes and view changes, and the finale asserts the exactly-once
+// dedup invariant (per-key apply counter never exceeds 1; an
+// acknowledged submission always applied). Runs in short mode too.
+var retryCorpus = func() []int64 {
+	seeds := make([]int64, 0, 40)
+	for s := int64(1); s <= 40; s++ {
+		seeds = append(seeds, s)
+	}
+	return seeds
+}()
+
+// TestSimRetryCorpus drives the fixed retry-under-faults corpus.
+func TestSimRetryCorpus(t *testing.T) {
+	if *simSeed != 0 {
+		t.Skip("-sim.seed set; see TestSimSeed")
+	}
+	for _, seed := range retryCorpus {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res := Run(GenerateRetry(seed), Options{})
+			if res.Failed() {
+				t.Errorf("%v\npost-mortem:\n%s", res.Err, res.Report)
+			}
+		})
+	}
+}
+
 // TestSimRandom explores fresh random seeds (long mode only). The base
 // seed is logged so a failing batch is re-runnable with -sim.seed.
 func TestSimRandom(t *testing.T) {

@@ -1,0 +1,119 @@
+package tcpnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"evsdb/internal/types"
+)
+
+// fakeDialer fails every dial and records when each attempt happened
+// (per the node's fake clock).
+type fakeDialer struct {
+	mu       sync.Mutex
+	attempts []time.Time
+	clock    func() time.Time
+}
+
+func (d *fakeDialer) dial(string) (net.Conn, error) {
+	d.mu.Lock()
+	d.attempts = append(d.attempts, d.clock())
+	d.mu.Unlock()
+	return nil, errors.New("connection refused")
+}
+
+func (d *fakeDialer) times() []time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]time.Time(nil), d.attempts...)
+}
+
+// backoffNode builds a node with a deterministic clock, no jitter, a
+// dead fake dialer, and a quiescent heartbeat loop, so the test drives
+// redials itself via Send.
+func backoffNode(t *testing.T) (*Node, *fakeDialer, *time.Time) {
+	t.Helper()
+	now := time.Unix(1000, 0)
+	d := &fakeDialer{clock: func() time.Time { return now }}
+	n, err := New(Config{
+		ID:        "a",
+		Listen:    "127.0.0.1:0",
+		Peers:     map[types.ServerID]string{"b": "127.0.0.1:9"},
+		Heartbeat: time.Hour, // keep the heartbeat loop out of the way
+		RedialMin: 100 * time.Millisecond,
+		RedialMax: 400 * time.Millisecond,
+		Dial:      d.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	n.now = func() time.Time { return now }
+	n.rnd = func(m int64) int64 { return m - 1 } // deterministic: max jitter = full backoff
+	d.clock = n.now
+	return n, d, &now
+}
+
+// TestRedialBackoffGrowsAndCaps: failed dials are spaced by a doubling
+// backoff up to RedialMax, not retried on every send.
+func TestRedialBackoffGrowsAndCaps(t *testing.T) {
+	n, d, now := backoffNode(t)
+
+	// Send every 10ms of fake time for 1.5s: without backoff this would
+	// be 150 dial attempts.
+	for i := 0; i < 150; i++ {
+		_ = n.Send("b", []byte("x"))
+		*now = now.Add(10 * time.Millisecond)
+	}
+	times := d.times()
+	if len(times) == 0 {
+		t.Fatal("no dial attempts")
+	}
+	// Expected schedule with rnd pinned to max (delay == backoff):
+	// attempt at +0 (backoff 100), +100 (200), +300 (400 = cap), +700
+	// (400), +1100, ... → 5 attempts within 1.5s.
+	if len(times) > 6 {
+		t.Fatalf("%d dial attempts in 1.5s, backoff not applied: %v", len(times), times)
+	}
+	var gaps []time.Duration
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i].Sub(times[i-1]))
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] < gaps[i-1] && gaps[i-1] <= 400*time.Millisecond {
+			t.Fatalf("gaps shrank before reaching the cap: %v", gaps)
+		}
+	}
+	if last := gaps[len(gaps)-1]; last > 410*time.Millisecond {
+		t.Fatalf("gap %v exceeds RedialMax", last)
+	}
+}
+
+// TestRedialBackoffResetsOnFrameReceipt: a frame from the peer clears
+// its backoff so the next send dials immediately.
+func TestRedialBackoffResetsOnFrameReceipt(t *testing.T) {
+	n, d, now := backoffNode(t)
+
+	for i := 0; i < 60; i++ {
+		_ = n.Send("b", []byte("x"))
+		*now = now.Add(10 * time.Millisecond)
+	}
+	before := len(d.times())
+	if before == 0 {
+		t.Fatal("no dial attempts")
+	}
+	// The peer's backoff is now deep into the schedule; without a reset
+	// the next dial would wait up to RedialMax.
+	n.markSeen("b")
+	_ = n.Send("b", []byte("x"))
+	after := d.times()
+	if len(after) != before+1 {
+		t.Fatalf("dial after frame receipt: %d attempts, want %d", len(after), before+1)
+	}
+	if !after[len(after)-1].Equal(*now) {
+		t.Fatal("post-reset dial was delayed")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -35,6 +36,13 @@ type Config struct {
 	// FailAfter marks a peer unreachable when nothing arrived for this
 	// long. Default 4 * Heartbeat.
 	FailAfter time.Duration
+	// RedialMin is the backoff after the first failed dial to a peer.
+	// Subsequent failures double it (with jitter) up to RedialMax; a
+	// successful dial or any frame received from the peer resets it.
+	// Default: Heartbeat.
+	RedialMin time.Duration
+	// RedialMax caps the redial backoff. Default: max(8s, 8 * RedialMin).
+	RedialMax time.Duration
 	// Dial overrides the dialer (tests). Default net.Dialer with timeout.
 	Dial func(addr string) (net.Conn, error)
 }
@@ -45,6 +53,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailAfter <= 0 {
 		c.FailAfter = 4 * c.Heartbeat
+	}
+	if c.RedialMin <= 0 {
+		c.RedialMin = c.Heartbeat
+	}
+	if c.RedialMax <= 0 {
+		c.RedialMax = 8 * time.Second
+		if m := 8 * c.RedialMin; m > c.RedialMax {
+			c.RedialMax = m
+		}
 	}
 	if c.Dial == nil {
 		c.Dial = func(addr string) (net.Conn, error) {
@@ -74,13 +91,18 @@ type Node struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
+
+	now func() time.Time // clock hook (tests)
+	rnd func(int64) int64
 }
 
 var _ transport.Node = (*Node)(nil)
 
 type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu       sync.Mutex
+	conn     net.Conn
+	backoff  time.Duration // current redial delay; zero after success
+	nextDial time.Time     // dial attempts before this instant are skipped
 }
 
 // New starts listening and begins dialing peers.
@@ -104,6 +126,8 @@ func New(cfg Config) (*Node, error) {
 		lastSeen: make(map[types.ServerID]time.Time),
 		live:     make(map[types.ServerID]bool),
 		stop:     make(chan struct{}),
+		now:      time.Now,
+		rnd:      rand.Int63n,
 	}
 	n.wg.Add(3)
 	go n.acceptLoop()
@@ -226,10 +250,40 @@ func (n *Node) peer(id types.ServerID) *peerConn {
 }
 
 // redial attempts one connection establishment, sending the hello frame.
+// Attempts are gated by the peer's backoff window: each failure doubles
+// the delay before the next try (with jitter, capped at RedialMax), so a
+// long-dead peer costs one dial per backoff period instead of one per
+// heartbeat. A successful dial — or any frame received from the peer
+// (markSeen) — resets the backoff.
 func (n *Node) redial(pc *peerConn, id types.ServerID, addr string) {
+	now := n.now()
+	pc.mu.Lock()
+	if pc.conn != nil || now.Before(pc.nextDial) {
+		pc.mu.Unlock()
+		return
+	}
+	// Claim this attempt window before dialing so concurrent Sends do not
+	// stack parallel dials to the same dead peer.
+	if pc.backoff <= 0 {
+		pc.backoff = n.cfg.RedialMin
+	} else {
+		pc.backoff *= 2
+		if pc.backoff > n.cfg.RedialMax {
+			pc.backoff = n.cfg.RedialMax
+		}
+	}
+	// Jitter in [backoff/2, backoff] desynchronizes a fleet redialing the
+	// same recovered peer.
+	delay := pc.backoff
+	if half := int64(delay / 2); half > 0 {
+		delay = delay/2 + time.Duration(n.rnd(half+1))
+	}
+	pc.nextDial = now.Add(delay)
+	pc.mu.Unlock()
+
 	conn, err := n.cfg.Dial(addr)
 	if err != nil {
-		return
+		return // backoff already scheduled
 	}
 	if err := writeFrame(conn, append([]byte("HELO"), n.cfg.ID...)); err != nil {
 		_ = conn.Close()
@@ -240,6 +294,8 @@ func (n *Node) redial(pc *peerConn, id types.ServerID, addr string) {
 		_ = conn.Close() // lost the race; keep the existing connection
 	} else {
 		pc.conn = conn
+		pc.backoff = 0
+		pc.nextDial = time.Time{}
 	}
 	pc.mu.Unlock()
 	_ = id
@@ -340,17 +396,26 @@ func (n *Node) heartbeatLoop() {
 
 func (n *Node) markSeen(from types.ServerID) {
 	n.mu.Lock()
-	n.lastSeen[from] = time.Now()
+	n.lastSeen[from] = n.now()
 	changed := !n.live[from]
 	n.live[from] = true
+	pc := n.outbox[from]
 	n.mu.Unlock()
+	if pc != nil {
+		// Frames arriving means the peer is back: clear the redial backoff
+		// so the outgoing side reconnects promptly.
+		pc.mu.Lock()
+		pc.backoff = 0
+		pc.nextDial = time.Time{}
+		pc.mu.Unlock()
+	}
 	if changed {
 		n.poke()
 	}
 }
 
 func (n *Node) expire() {
-	cutoff := time.Now().Add(-n.cfg.FailAfter)
+	cutoff := n.now().Add(-n.cfg.FailAfter)
 	n.mu.Lock()
 	changed := false
 	for id, seen := range n.lastSeen {

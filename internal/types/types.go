@@ -166,8 +166,16 @@ type Action struct {
 	// for white-action collection).
 	GreenLine uint64 `json:"greenLine"`
 
-	// Client identifies the submitting client, used to route replies.
-	Client string `json:"client"`
+	// Client identifies the submitting client. Together with ClientSeq it
+	// forms the action's idempotency key: the engine applies at most one
+	// green action per (Client, ClientSeq) pair and answers retries with
+	// the original reply. Empty means the action carries no key.
+	Client string `json:"client,omitempty"`
+
+	// ClientSeq is the client's submission sequence number for this
+	// logical operation. Retries of the same operation — including via a
+	// different replica after failover — reuse the same value.
+	ClientSeq uint64 `json:"clientSeq,omitempty"`
 
 	// Query and Update are the two halves of an action; either may be
 	// empty. Their interpretation belongs to the database layer.
