@@ -25,6 +25,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "schedule seed to replay (0: explore random seeds)")
 		runs    = flag.Int("runs", 1, "repetitions of -seed, or number of random seeds to explore")
 		retry   = flag.Bool("retry", false, "use the retry-heavy generator (idempotent re-submissions racing faults)")
+		batch   = flag.Bool("batch", false, "use the burst-heavy generator (submit storms travelling as action bundles racing faults)")
 		shrink  = flag.Bool("shrink", false, "minimize failing schedules by delta debugging")
 		budget  = flag.Int("shrink-budget", 150, "max re-runs the shrinker may spend")
 		verbose = flag.Bool("v", false, "print schedules and per-step progress")
@@ -54,6 +55,9 @@ func main() {
 	generate := sim.Generate
 	if *retry {
 		generate = sim.GenerateRetry
+	}
+	if *batch {
+		generate = sim.GenerateBatch
 	}
 	for i, s := range seeds {
 		sched := generate(s)

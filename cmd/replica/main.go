@@ -18,6 +18,9 @@
 // Writes may carry an idempotency key (&client=ID&seq=N): retries of
 // the same key return the original reply instead of re-applying.
 // Overload answers 503 with a Retry-After hint (see -max-inflight).
+//
+// -pprof-addr serves net/http/pprof on a separate address (off by
+// default; bind it to loopback — the endpoint is unauthenticated).
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registered on the -pprof-addr server only
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +61,9 @@ func run() error {
 		delayed     = flag.Bool("delayed-writes", false, "use delayed (asynchronous) disk writes")
 		maxInFlight = flag.Int("max-inflight", 0, "admission budget for strict requests (0: default, -1: unlimited)")
 		httpTimeout = flag.Duration("http-timeout", 0, "server-side deadline per client request (0: default)")
+		maxBatch    = flag.Int("max-batch", 0, "max actions coalesced into one multicast bundle (0: default, 1: disable batching)")
+		batchDelay  = flag.Duration("batch-delay", 0, "how long a submission waits for bundle companions (0: default, <0: no wait)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -105,12 +112,14 @@ func run() error {
 	defer gc.Close()
 
 	eng, err := core.New(core.Config{
-		ID:          types.ServerID(*id),
-		Servers:     servers,
-		GC:          gc,
-		Log:         wal,
-		Recover:     *recover,
-		MaxInFlight: *maxInFlight,
+		ID:              types.ServerID(*id),
+		Servers:         servers,
+		GC:              gc,
+		Log:             wal,
+		Recover:         *recover,
+		MaxInFlight:     *maxInFlight,
+		MaxBatchActions: *maxBatch,
+		MaxBatchDelay:   *batchDelay,
 	})
 	if err != nil {
 		return err
@@ -125,6 +134,13 @@ func run() error {
 	srv := &http.Server{Addr: *httpAddr, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if *pprofAddr != "" {
+		// The pprof import registers its handlers on http.DefaultServeMux;
+		// serving nil here exposes exactly those, on a separate listener so
+		// profiling never shares a port with the client API.
+		go func() { errCh <- http.ListenAndServe(*pprofAddr, nil) }()
+		fmt.Printf("replica %s: pprof on http://%s/debug/pprof/\n", *id, *pprofAddr)
+	}
 	fmt.Printf("replica %s: replication on %s, clients on http://%s\n", *id, *listen, *httpAddr)
 
 	sig := make(chan os.Signal, 1)

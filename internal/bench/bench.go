@@ -12,6 +12,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -70,6 +71,13 @@ type Config struct {
 	PayloadBytes int
 	// EVSTick tunes the group-communication tick.
 	EVSTick time.Duration
+	// MaxBatch caps the engines' submission batching (see
+	// core.Config.MaxBatchActions): 0 keeps the engine default, 1
+	// disables batching (the pre-batching pipeline).
+	MaxBatch int
+	// BatchDelay sets the engines' batch collection window (see
+	// core.Config.MaxBatchDelay).
+	BatchDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -100,12 +108,16 @@ type Result struct {
 	Elapsed    time.Duration
 	Throughput float64 // actions per second
 	AvgLatency time.Duration
+	P50Latency time.Duration
+	P99Latency time.Duration
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%-14s replicas=%2d clients=%2d actions=%5d  %8.1f actions/s  avg latency %8.3fms",
+	return fmt.Sprintf("%-14s replicas=%2d clients=%2d actions=%5d  %8.1f actions/s  avg latency %8.3fms  p50 %8.3fms  p99 %8.3fms",
 		r.System, r.Replicas, r.Clients, r.Actions,
-		r.Throughput, float64(r.AvgLatency)/float64(time.Millisecond))
+		r.Throughput, float64(r.AvgLatency)/float64(time.Millisecond),
+		float64(r.P50Latency)/float64(time.Millisecond),
+		float64(r.P99Latency)/float64(time.Millisecond))
 }
 
 // submitter abstracts one replica's blocking submit path.
@@ -175,7 +187,7 @@ func Run(cfg Config) (Result, error) {
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
-		lat     time.Duration
+		lats    = make([]time.Duration, 0, total)
 		runErr  error
 		started = time.Now()
 	)
@@ -184,7 +196,7 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var local time.Duration
+			local := make([]time.Duration, 0, cfg.ActionsPerClient)
 			for j := 0; j < cfg.ActionsPerClient; j++ {
 				t0 := time.Now()
 				if err := sub(ctx, payload); err != nil {
@@ -195,10 +207,10 @@ func Run(cfg Config) (Result, error) {
 					mu.Unlock()
 					return
 				}
-				local += time.Since(t0)
+				local = append(local, time.Since(t0))
 			}
 			mu.Lock()
-			lat += local
+			lats = append(lats, local...)
 			mu.Unlock()
 		}()
 	}
@@ -207,6 +219,11 @@ func Run(cfg Config) (Result, error) {
 	if runErr != nil {
 		return Result{}, runErr
 	}
+	var lat time.Duration
+	for _, d := range lats {
+		lat += d
+	}
+	slices.Sort(lats)
 	return Result{
 		System:     cfg.System.String(),
 		Replicas:   cfg.Replicas,
@@ -215,7 +232,18 @@ func Run(cfg Config) (Result, error) {
 		Elapsed:    elapsed,
 		Throughput: float64(total) / elapsed.Seconds(),
 		AvgLatency: lat / time.Duration(total),
+		P50Latency: percentile(lats, 50),
+		P99Latency: percentile(lats, 99),
 	}, nil
+}
+
+// percentile reads the p-th percentile from sorted latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return sorted[idx]
 }
 
 // buildSystem assembles the protocol stack and returns one submitter per
@@ -232,6 +260,8 @@ func buildSystem(cfg Config) ([]submitter, []*core.Engine, func(), error) {
 			cluster.WithSyncPolicy(policy),
 			cluster.WithSyncLatency(cfg.SyncLatency),
 			cluster.WithEVSTick(cfg.EVSTick),
+			cluster.WithMaxBatch(cfg.MaxBatch),
+			cluster.WithBatchDelay(cfg.BatchDelay),
 		)
 		if err != nil {
 			return nil, nil, nil, err

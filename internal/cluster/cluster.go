@@ -47,6 +47,19 @@ func WithQuorum(q quorum.System) Option {
 	return func(c *Cluster) { c.quorum = q }
 }
 
+// WithMaxBatch caps how many submissions each engine coalesces into one
+// ActionBatch (see core.Config.MaxBatchActions): 0 keeps the engine
+// default, 1 (or negative) disables batching.
+func WithMaxBatch(n int) Option {
+	return func(c *Cluster) { c.maxBatch = n }
+}
+
+// WithBatchDelay sets the engines' batch collection window (see
+// core.Config.MaxBatchDelay).
+func WithBatchDelay(d time.Duration) Option {
+	return func(c *Cluster) { c.batchDelay = d }
+}
+
 // WithCrashHook installs a fault-injection hook invoked at every engine
 // "** sync to disk" barrier (see core.Config.SyncHook). Returning true
 // kills the replica exactly at that barrier: the engine halts mid-handler
@@ -71,11 +84,13 @@ type Replica struct {
 type Cluster struct {
 	Net *memnet.Network
 
-	logOpts   storage.Options
-	evsTick   time.Duration
-	netOpts   []memnet.Option
-	quorum    quorum.System
-	crashHook func(id types.ServerID, point string) bool
+	logOpts    storage.Options
+	evsTick    time.Duration
+	netOpts    []memnet.Option
+	quorum     quorum.System
+	maxBatch   int
+	batchDelay time.Duration
+	crashHook  func(id types.ServerID, point string) bool
 
 	mu       sync.Mutex
 	replicas map[types.ServerID]*Replica
@@ -131,13 +146,15 @@ func (c *Cluster) start(id types.ServerID, snap *core.JoinSnapshot, recovering b
 
 	database := db.New()
 	cfg := core.Config{
-		ID:      id,
-		Servers: servers,
-		GC:      gc,
-		Log:     log,
-		DB:      database,
-		Quorum:  c.quorum,
-		Recover: recovering,
+		ID:              id,
+		Servers:         servers,
+		GC:              gc,
+		Log:             log,
+		DB:              database,
+		Quorum:          c.quorum,
+		Recover:         recovering,
+		MaxBatchActions: c.maxBatch,
+		MaxBatchDelay:   c.batchDelay,
 	}
 	if c.crashHook != nil {
 		cfg.SyncHook = func(point string) bool {

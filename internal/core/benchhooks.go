@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"evsdb/internal/types"
+)
+
+// codecSpecimen is a representative 200-byte keyed update action, the
+// shape the submit hot path encodes per hop.
+func codecSpecimen() engineMsg {
+	return engineMsg{Kind: emAction, Action: &types.Action{
+		ID:        types.ActionID{Server: "s03", Index: 4242},
+		Type:      types.ActionUpdate,
+		Semantics: types.SemStrict,
+		GreenLine: 99,
+		Client:    "client-7",
+		ClientSeq: 41,
+		Update:    make([]byte, 200),
+	}}
+}
+
+// CodecAllocsPerOp measures allocations per encode and per decode of a
+// representative action frame, for the binary engine codec (encode via
+// the pooled path the multicast hot path uses) and for the legacy JSON
+// codec it replaced. cmd/evsbench records the four numbers in its JSON
+// output.
+func CodecAllocsPerOp() (binEnc, binDec, jsonEnc, jsonDec float64) {
+	m := codecSpecimen()
+	frame := encodeEngineMsg(m)
+	jsonFrame := encodeEngineMsgJSON(m)
+	binEnc = testing.AllocsPerRun(200, func() {
+		bp := encBufs.Get().(*[]byte)
+		buf := appendEngineMsg((*bp)[:0], m)
+		*bp = buf[:0]
+		encBufs.Put(bp)
+	})
+	binDec = testing.AllocsPerRun(200, func() {
+		if _, err := decodeEngineMsg(frame); err != nil {
+			panic(err)
+		}
+	})
+	jsonEnc = testing.AllocsPerRun(200, func() {
+		_ = encodeEngineMsgJSON(m)
+	})
+	jsonDec = testing.AllocsPerRun(200, func() {
+		if _, err := decodeEngineMsgJSON(jsonFrame); err != nil {
+			panic(err)
+		}
+	})
+	return binEnc, binDec, jsonEnc, jsonDec
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"evsdb/internal/evs"
+	"evsdb/internal/types"
+)
+
+// Engine-message wire format, version 1.
+//
+// Every frame starts with a three-byte header:
+//
+//	[0] engineMagic — distinguishes engine frames from foreign traffic
+//	[1] codec version — mixed-version frames fail loudly at decode
+//	    instead of being mis-parsed
+//	[2] message kind
+//
+// Hot-path kinds (emAction, emBatch, emRetrans — every ordered action
+// pays one of these per hop) use a hand-rolled little-endian binary body:
+// the JSON codec the engine started with dominated the submit path's CPU
+// and allocation profile. Rare kinds (emState, emCPC, emSnapshot — one
+// per view change or catch-up) keep JSON bodies behind the same header:
+// they carry maps and nested snapshots where JSON's flexibility matters
+// more than its cost.
+const (
+	engineMagic   = 0xEC
+	engineCodecV1 = 1
+)
+
+// encBufs pools encode buffers for the multicast hot path. Safe because
+// every GroupCom implementation copies (or fully consumes) the payload
+// before Multicast returns, and decodeAction copies byte slices out of
+// the frame rather than aliasing them.
+var encBufs = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// multicastMsg encodes m into a pooled buffer and multicasts it with
+// Safe delivery (every engine message is Safe).
+func multicastMsg(gc GroupCom, m engineMsg) error {
+	bp := encBufs.Get().(*[]byte)
+	buf := appendEngineMsg((*bp)[:0], m)
+	err := gc.Multicast(buf, evs.Safe)
+	*bp = buf[:0]
+	encBufs.Put(bp)
+	return err
+}
+
+func putU16(buf []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(buf, v) }
+func putU32(buf []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(buf, v) }
+func putU64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+
+func putStr(buf []byte, s string) []byte {
+	buf = putU16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func getStr(buf []byte) (string, []byte, bool) {
+	if len(buf) < 2 {
+		return "", nil, false
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n {
+		return "", nil, false
+	}
+	return string(buf[:n]), buf[n:], true
+}
+
+// putBlob appends a u32-length-prefixed byte slice (nil and empty both
+// encode as length 0 and decode as nil, matching the JSON codec's
+// omitempty collapse).
+func putBlob(buf []byte, b []byte) []byte {
+	buf = putU32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// getBlob copies the blob out of the frame: decoded actions outlive the
+// (possibly pooled or transport-owned) frame buffer.
+func getBlob(buf []byte) ([]byte, []byte, bool) {
+	if len(buf) < 4 {
+		return nil, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < n {
+		return nil, nil, false
+	}
+	if n == 0 {
+		return nil, buf, true
+	}
+	return append([]byte(nil), buf[:n]...), buf[n:], true
+}
+
+// appendAction appends the binary encoding of one action.
+func appendAction(buf []byte, a types.Action) []byte {
+	buf = putStr(buf, string(a.ID.Server))
+	buf = putU64(buf, a.ID.Index)
+	buf = append(buf, byte(a.Type), byte(a.Semantics))
+	buf = putU64(buf, a.GreenLine)
+	buf = putStr(buf, a.Client)
+	buf = putU64(buf, a.ClientSeq)
+	buf = putBlob(buf, a.Query)
+	buf = putBlob(buf, a.Update)
+	buf = putStr(buf, string(a.Target))
+	return putStr(buf, a.Proc)
+}
+
+// actionSize returns the exact encoded size of an action, so batch
+// encodes can preallocate once.
+func actionSize(a types.Action) int {
+	return 2 + len(a.ID.Server) + 8 + 1 + 1 + 8 +
+		2 + len(a.Client) + 8 +
+		4 + len(a.Query) + 4 + len(a.Update) +
+		2 + len(a.Target) + 2 + len(a.Proc)
+}
+
+func getAction(buf []byte) (types.Action, []byte, bool) {
+	var a types.Action
+	var s string
+	var ok bool
+	if s, buf, ok = getStr(buf); !ok {
+		return a, nil, false
+	}
+	a.ID.Server = types.ServerID(s)
+	if len(buf) < 8+1+1+8 {
+		return a, nil, false
+	}
+	a.ID.Index = binary.LittleEndian.Uint64(buf)
+	a.Type = types.ActionType(buf[8])
+	a.Semantics = types.Semantics(buf[9])
+	a.GreenLine = binary.LittleEndian.Uint64(buf[10:])
+	buf = buf[18:]
+	if a.Client, buf, ok = getStr(buf); !ok {
+		return a, nil, false
+	}
+	if len(buf) < 8 {
+		return a, nil, false
+	}
+	a.ClientSeq = binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if a.Query, buf, ok = getBlob(buf); !ok {
+		return a, nil, false
+	}
+	if a.Update, buf, ok = getBlob(buf); !ok {
+		return a, nil, false
+	}
+	if s, buf, ok = getStr(buf); !ok {
+		return a, nil, false
+	}
+	a.Target = types.ServerID(s)
+	if a.Proc, buf, ok = getStr(buf); !ok {
+		return a, nil, false
+	}
+	return a, buf, true
+}
+
+// appendEngineMsg appends the full framed encoding of m to buf.
+func appendEngineMsg(buf []byte, m engineMsg) []byte {
+	buf = append(buf, engineMagic, engineCodecV1, byte(m.Kind))
+	switch m.Kind {
+	case emAction:
+		return appendAction(buf, *m.Action)
+	case emBatch:
+		buf = putU32(buf, uint32(len(m.Batch)))
+		for _, a := range m.Batch {
+			buf = appendAction(buf, a)
+		}
+		return buf
+	case emRetrans:
+		r := m.Retrans
+		var flags byte
+		if r.Green {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = putU64(buf, r.GreenSeq)
+		return appendAction(buf, r.Action)
+	case emState, emCPC, emSnapshot:
+		body, err := json.Marshal(m)
+		if err != nil {
+			panic(fmt.Sprintf("core: marshal engine message: %v", err))
+		}
+		return append(buf, body...)
+	default:
+		panic(fmt.Sprintf("core: encode unknown engine message kind %d", int(m.Kind)))
+	}
+}
+
+// encodeEngineMsg returns the framed encoding of m in a fresh,
+// exactly-sized buffer.
+func encodeEngineMsg(m engineMsg) []byte {
+	size := 3
+	switch m.Kind {
+	case emAction:
+		size += actionSize(*m.Action)
+	case emBatch:
+		size += 4
+		for _, a := range m.Batch {
+			size += actionSize(a)
+		}
+	case emRetrans:
+		size += 1 + 8 + actionSize(m.Retrans.Action)
+	}
+	return appendEngineMsg(make([]byte, 0, size), m)
+}
+
+func decodeEngineMsg(buf []byte) (engineMsg, error) {
+	if len(buf) < 3 {
+		return engineMsg{}, fmt.Errorf("core: engine frame too short (%d bytes)", len(buf))
+	}
+	if buf[0] != engineMagic {
+		return engineMsg{}, fmt.Errorf("core: not an engine frame (magic 0x%02x)", buf[0])
+	}
+	if buf[1] != engineCodecV1 {
+		// Loud, specific failure: a mixed-version cluster must surface the
+		// incompatibility instead of mis-parsing the frame.
+		return engineMsg{}, fmt.Errorf("core: engine codec version mismatch: frame v%d, this node speaks v%d",
+			buf[1], engineCodecV1)
+	}
+	kind := engineMsgKind(buf[2])
+	rest := buf[3:]
+	bad := func() (engineMsg, error) {
+		return engineMsg{}, fmt.Errorf("core: truncated engine frame (kind %d)", int(kind))
+	}
+	switch kind {
+	case emAction:
+		a, rest, ok := getAction(rest)
+		if !ok || len(rest) != 0 {
+			return bad()
+		}
+		return engineMsg{Kind: emAction, Action: &a}, nil
+	case emBatch:
+		if len(rest) < 4 {
+			return bad()
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		// The smallest action encodes to 42 bytes; a count beyond that is
+		// a corrupt frame, not an allocation request.
+		if n > len(rest)/42+1 {
+			return bad()
+		}
+		batch := make([]types.Action, 0, n)
+		for i := 0; i < n; i++ {
+			var a types.Action
+			var ok bool
+			if a, rest, ok = getAction(rest); !ok {
+				return bad()
+			}
+			batch = append(batch, a)
+		}
+		if len(rest) != 0 {
+			return bad()
+		}
+		return engineMsg{Kind: emBatch, Batch: batch}, nil
+	case emRetrans:
+		if len(rest) < 9 {
+			return bad()
+		}
+		r := retransMsg{Green: rest[0]&1 != 0, GreenSeq: binary.LittleEndian.Uint64(rest[1:])}
+		var ok bool
+		if r.Action, rest, ok = getAction(rest[9:]); !ok || len(rest) != 0 {
+			return bad()
+		}
+		return engineMsg{Kind: emRetrans, Retrans: &r}, nil
+	case emState, emCPC, emSnapshot:
+		var m engineMsg
+		if err := json.Unmarshal(rest, &m); err != nil {
+			return engineMsg{}, fmt.Errorf("core: unmarshal engine message: %w", err)
+		}
+		m.Kind = kind
+		return m, nil
+	default:
+		return engineMsg{}, fmt.Errorf("core: unknown engine message kind %d", int(kind))
+	}
+}
+
+// Legacy JSON codec, retained for the micro-benchmarks and the fuzz
+// cross-check against the binary path (it was the v0 wire format; new
+// frames never use it).
+func encodeEngineMsgJSON(m engineMsg) []byte {
+	buf, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("core: marshal engine message: %v", err))
+	}
+	return buf
+}
+
+func decodeEngineMsgJSON(buf []byte) (engineMsg, error) {
+	var m engineMsg
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return engineMsg{}, fmt.Errorf("core: unmarshal engine message: %w", err)
+	}
+	return m, nil
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"evsdb/internal/db"
 	"evsdb/internal/evs"
@@ -181,6 +182,18 @@ type Config struct {
 	// with a retryable overload reply instead of queueing without bound.
 	// Zero means DefaultMaxInFlight; negative disables the bound.
 	MaxInFlight int
+	// MaxBatchActions caps how many client submissions the engine
+	// coalesces into one ActionBatch — one Safe multicast, one WAL
+	// append, one green-apply transaction — before fanning per-action
+	// replies and dedup entries back out. Zero means
+	// DefaultMaxBatchActions; 1 or negative disables batching.
+	MaxBatchActions int
+	// MaxBatchDelay bounds how long the event loop lingers on the submit
+	// channel after a first submission, collecting more into the same
+	// batch. Zero means DefaultMaxBatchDelay; negative disables the wait
+	// (coalescing then only captures submissions already queued while the
+	// loop was busy).
+	MaxBatchDelay time.Duration
 	// SyncHook, if set, is invoked on the engine goroutine at every
 	// "** sync to disk" barrier, after the forced write completes and
 	// before any subsequent protocol message is sent. Returning true
@@ -232,6 +245,18 @@ type Metrics struct {
 // DefaultMaxInFlight is the in-flight action budget used when
 // Config.MaxInFlight is zero.
 const DefaultMaxInFlight = 4096
+
+// DefaultMaxBatchActions is the batch cap used when Config.MaxBatchActions
+// is zero. Large enough to amortize the per-message EVS round and the
+// forced write across a burst, small enough to keep a batch well under
+// the transport's comfortable datagram size.
+const DefaultMaxBatchActions = 64
+
+// DefaultMaxBatchDelay is the batch collection window used when
+// Config.MaxBatchDelay is zero. A fraction of the typical forced-write
+// latency: closed-loop clients submitting in the same round coalesce,
+// while a lone client's latency barely moves.
+const DefaultMaxBatchDelay = 200 * time.Microsecond
 
 // Status is a snapshot of the engine's externally observable state.
 type Status struct {
@@ -319,6 +344,8 @@ type Engine struct {
 	eagerApplied map[string]bool
 	inflight     map[inflightKey]types.ActionID
 	maxInFlight  int
+	maxBatch     int           // batching cap (1 = batching disabled)
+	batchDelay   time.Duration // batch collection window (0 = opportunistic only)
 	// Query fast path (§ 6): strict query-only requests in the primary
 	// are answered from the green state once every earlier local action
 	// has applied, without generating an ordered action message.
@@ -408,6 +435,22 @@ func newEngine(cfg Config) (*Engine, error) {
 	}
 	if e.maxInFlight == 0 {
 		e.maxInFlight = DefaultMaxInFlight
+	}
+	switch {
+	case cfg.MaxBatchActions == 0:
+		e.maxBatch = DefaultMaxBatchActions
+	case cfg.MaxBatchActions < 0:
+		e.maxBatch = 1
+	default:
+		e.maxBatch = cfg.MaxBatchActions
+	}
+	switch {
+	case cfg.MaxBatchDelay == 0:
+		e.batchDelay = DefaultMaxBatchDelay
+	case cfg.MaxBatchDelay < 0:
+		e.batchDelay = 0
+	default:
+		e.batchDelay = cfg.MaxBatchDelay
 	}
 	for _, s := range cfg.Servers {
 		e.serverSet[s] = true
@@ -687,7 +730,7 @@ func (e *Engine) run() {
 			}
 			e.handleEvent(ev)
 		case req := <-e.submitCh:
-			e.handleSubmit(req)
+			e.handleSubmitBatch(e.collectSubmits(req))
 		case req := <-e.joinCh:
 			e.handleJoinRequest(req)
 		case ch := <-e.leaveCh:
@@ -741,6 +784,8 @@ func (e *Engine) handleEvent(ev evs.Event) {
 			if m.Action != nil {
 				e.onAction(*m.Action)
 			}
+		case emBatch:
+			e.onActionBatch(m.Batch)
 		case emState:
 			if m.State != nil {
 				e.onStateMsg(*m.State)
@@ -765,21 +810,95 @@ func (e *Engine) handleEvent(ev evs.Event) {
 // action"). Runs on the sync writer as well as the loop; the multicast is
 // thread-safe and the metrics counter is bumped at creation instead.
 func (e *Engine) generate(a types.Action) {
-	_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emAction, Action: &a}), evs.Safe)
+	_ = multicastMsg(e.gc, engineMsg{Kind: emAction, Action: &a})
 }
 
-// handleSubmit implements the Client req event for every state: create
-// and generate in RegPrim and NonPrim, buffer elsewhere. Keyed
-// submissions are deduplicated first; admission control rejects the rest
-// once the in-flight budget is exhausted.
+// generateBatch multicasts a bundle of freshly created actions once their
+// records are durable: one Safe multicast — one position in the total
+// order — for the whole bundle. Runs on the sync writer as well as the
+// loop.
+func (e *Engine) generateBatch(acts []types.Action) {
+	if len(acts) == 1 {
+		e.generate(acts[0])
+		return
+	}
+	_ = multicastMsg(e.gc, engineMsg{Kind: emBatch, Batch: acts})
+}
+
+// collectSubmits assembles a submission batch around the request that
+// woke the loop: first an opportunistic drain of whatever queued while
+// the loop was busy, then — if a collection window is configured — a
+// short bounded wait for closed-loop clients submitting in the same
+// round. The cap keeps a batch one comfortable multicast.
+func (e *Engine) collectSubmits(first submitReq) []submitReq {
+	reqs := []submitReq{first}
+	if e.maxBatch <= 1 {
+		return reqs
+	}
+	for len(reqs) < e.maxBatch {
+		select {
+		case req := <-e.submitCh:
+			reqs = append(reqs, req)
+			continue
+		default:
+		}
+		break
+	}
+	if e.batchDelay <= 0 || len(reqs) >= e.maxBatch {
+		return reqs
+	}
+	timer := time.NewTimer(e.batchDelay)
+	defer timer.Stop()
+	for len(reqs) < e.maxBatch {
+		select {
+		case req := <-e.submitCh:
+			reqs = append(reqs, req)
+		case <-timer.C:
+			return reqs
+		case <-e.stop:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// handleSubmit implements the Client req event for a single request (the
+// batch pipeline with a batch of one).
 func (e *Engine) handleSubmit(req submitReq) {
+	e.handleSubmitBatch([]submitReq{req})
+}
+
+// handleSubmitBatch runs admission for each collected submission in
+// order, then commits every action the batch created with ONE WAL append
+// and ONE multicast: the per-action forced write and EVS round — the two
+// dominant costs of the submit path — amortize over the batch, while
+// dedup, admission control, and the query fast path keep their exact
+// sequential semantics.
+func (e *Engine) handleSubmitBatch(reqs []submitReq) {
+	var acts []types.Action
+	for _, req := range reqs {
+		if a, created := e.admitSubmit(req); created {
+			acts = append(acts, a)
+		}
+	}
+	if len(acts) == 0 {
+		return
+	}
+	e.logActions(acts)
+	e.syncer.After(func() { e.generateBatch(acts) })
+}
+
+// admitSubmit vets one submission — dedup, admission control, the § 6
+// query fast path, buffering outside Prim/NonPrim — and creates an
+// action for it when one is due. The caller owns logging and multicast.
+func (e *Engine) admitSubmit(req submitReq) (types.Action, bool) {
 	if e.left {
 		req.ch <- Reply{Err: ErrLeft.Error(), Retryable: true}
-		return
+		return types.Action{}, false
 	}
 	if e.ioFailed {
 		req.ch <- Reply{Err: "core: stable storage failed; refusing new actions", Retryable: true}
-		return
+		return types.Action{}, false
 	}
 	if req.action.Client != "" {
 		// Fast-path dedup: an already ordered (client, seq) answers from
@@ -790,20 +909,20 @@ func (e *Engine) handleSubmit(req submitReq) {
 		if kind != dedupFresh {
 			e.metrics.Duplicates++
 			req.ch <- dedupReply(kind, ent)
-			return
+			return types.Action{}, false
 		}
 		if id, ok := e.inflight[inflightKey{req.action.Client, req.action.ClientSeq}]; ok {
 			if _, pending := e.pendingReply[id]; pending {
 				e.metrics.Duplicates++
 				e.pendingReply[id] = append(e.pendingReply[id], req.ch)
-				return
+				return types.Action{}, false
 			}
 		}
 	}
 	if e.maxInFlight > 0 && len(e.pendingReply)+len(e.buffered) >= e.maxInFlight {
 		e.metrics.Overloads++
 		req.ch <- Reply{Err: ErrOverloaded.Error(), Retryable: true}
-		return
+		return types.Action{}, false
 	}
 	// § 6 query optimization: a strict query-only request in the primary
 	// component needs no ordered action message — it is answered from the
@@ -816,13 +935,14 @@ func (e *Engine) handleSubmit(req submitReq) {
 		} else {
 			e.queryWait[e.lastLocalPending] = append(e.queryWait[e.lastLocalPending], req)
 		}
-		return
+		return types.Action{}, false
 	}
 	switch e.st {
 	case RegPrim, NonPrim:
-		e.createAndGenerate(req)
+		return e.createAction(req), true
 	default:
 		e.buffered = append(e.buffered, req)
+		return types.Action{}, false
 	}
 }
 
@@ -842,21 +962,43 @@ func (e *Engine) answerQuery(req submitReq) {
 // engine's one forced write per action). The forced write happens on the
 // group-commit writer so the protocol loop never blocks on the disk.
 func (e *Engine) createAndGenerate(req submitReq) {
+	a := e.createAction(req)
+	e.appendLog(logRecord{T: recOngoing, Action: &a})
+	e.syncer.After(func() { e.generate(a) })
+}
+
+// createAction assigns the next action index and enters the action into
+// the ongoing queue and reply/inflight routing. The caller owns the WAL
+// append (possibly shared with other actions of a batch) and the
+// multicast.
+func (e *Engine) createAction(req submitReq) types.Action {
 	e.actionIndex++
 	a := req.action
 	a.ID = types.ActionID{Server: e.id, Index: e.actionIndex}
 	a.GreenLine = e.queue.greenCount()
 	e.ongoing[a.ID] = a
 	e.metrics.Generated++
-	e.appendLog(logRecord{T: recOngoing, Action: &a})
 	e.trackInflight(a, req.ch)
 	e.lastLocalPending = a.ID
-	e.syncer.After(func() { e.generate(a) })
+	return a
+}
+
+// logActions appends the ongoing records for freshly created actions:
+// several actions of one batch share a single record (and, downstream,
+// a single forced write).
+func (e *Engine) logActions(acts []types.Action) {
+	switch len(acts) {
+	case 0:
+	case 1:
+		e.appendLog(logRecord{T: recOngoing, Action: &acts[0]})
+	default:
+		e.appendLog(logRecord{T: recOngoingBatch, Actions: acts})
+	}
 }
 
 // handleBuffered drains requests buffered during exchange and
 // construction (paper Handle_buff_requests): one forced write covers the
-// batch.
+// batch, and the multicasts go out in MaxBatchActions-sized bundles.
 func (e *Engine) handleBuffered() {
 	if len(e.buffered) == 0 {
 		return
@@ -865,19 +1007,15 @@ func (e *Engine) handleBuffered() {
 	e.buffered = nil
 	acts := make([]types.Action, 0, len(batch))
 	for _, req := range batch {
-		e.actionIndex++
-		a := req.action
-		a.ID = types.ActionID{Server: e.id, Index: e.actionIndex}
-		a.GreenLine = e.queue.greenCount()
-		e.ongoing[a.ID] = a
-		e.appendLog(logRecord{T: recOngoing, Action: &a})
-		e.trackInflight(a, req.ch)
-		e.lastLocalPending = a.ID
-		acts = append(acts, a)
+		acts = append(acts, e.createAction(req))
 	}
+	e.logActions(acts)
+	max := max(e.maxBatch, 1)
 	e.syncer.After(func() {
-		for _, a := range acts {
-			e.generate(a)
+		for len(acts) > 0 {
+			n := min(max, len(acts))
+			e.generateBatch(acts[:n])
+			acts = acts[n:]
 		}
 	})
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"evsdb/internal/evs"
 	"evsdb/internal/types"
 )
 
@@ -159,7 +158,7 @@ func (e *Engine) retransmitShare() {
 
 func (e *Engine) sendRetrans(r retransMsg) {
 	e.metrics.Retransmitted++
-	_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emRetrans, Retrans: &r}), evs.Safe)
+	_ = multicastMsg(e.gc, engineMsg{Kind: emRetrans, Retrans: &r})
 }
 
 // onRetrans handles a retransmitted action (paper A.6, OR-3): the

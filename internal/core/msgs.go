@@ -1,9 +1,6 @@
 package core
 
 import (
-	"encoding/json"
-	"fmt"
-
 	"evsdb/internal/types"
 )
 
@@ -66,6 +63,12 @@ const (
 	emCPC
 	emRetrans
 	emSnapshot
+	// emBatch carries an ActionBatch: several actions created at one
+	// server, coalesced into a single Safe multicast. The batch occupies
+	// one position in the total order; receivers unpack it and process
+	// the inner actions in batch order, so every server observes the same
+	// expanded sequence (see onActionBatch).
+	emBatch
 )
 
 // stateMsg is the end-to-end state exchanged once per view change
@@ -126,28 +129,15 @@ type retransMsg struct {
 }
 
 // engineMsg is the envelope for all replication-engine traffic. Every
-// engine message is multicast with Safe delivery.
+// engine message is multicast with Safe delivery. Encoding and decoding
+// live in codec.go (versioned binary frames for the hot kinds, JSON
+// bodies for the rare membership/exchange kinds).
 type engineMsg struct {
-	Kind    engineMsgKind `json:"kind"`
-	Action  *types.Action `json:"action,omitempty"`
-	State   *stateMsg     `json:"state,omitempty"`
-	CPC     *cpcMsg       `json:"cpc,omitempty"`
-	Retrans *retransMsg   `json:"retrans,omitempty"`
-	Snap    *snapMsg      `json:"snap,omitempty"`
-}
-
-func encodeEngineMsg(m engineMsg) []byte {
-	buf, err := json.Marshal(m)
-	if err != nil {
-		panic(fmt.Sprintf("core: marshal engine message: %v", err))
-	}
-	return buf
-}
-
-func decodeEngineMsg(buf []byte) (engineMsg, error) {
-	var m engineMsg
-	if err := json.Unmarshal(buf, &m); err != nil {
-		return engineMsg{}, fmt.Errorf("core: unmarshal engine message: %w", err)
-	}
-	return m, nil
+	Kind    engineMsgKind  `json:"kind"`
+	Action  *types.Action  `json:"action,omitempty"`
+	Batch   []types.Action `json:"batch,omitempty"`
+	State   *stateMsg      `json:"state,omitempty"`
+	CPC     *cpcMsg        `json:"cpc,omitempty"`
+	Retrans *retransMsg    `json:"retrans,omitempty"`
+	Snap    *snapMsg       `json:"snap,omitempty"`
 }

@@ -17,15 +17,23 @@ const (
 	recOngoing    = "ongoing"    // a locally generated action (paper ongoingQueue)
 	recState      = "state"      // engine metadata snapshot at a sync point
 	recCheckpoint = "checkpoint" // full base state (join bootstrap / compaction)
+	// Batch records: several actions of one ActionBatch sharing a single
+	// append (and forced write). Replay expands them in stored order, so a
+	// batch record is exactly equivalent to its per-action records.
+	recRedBatch     = "redBatch"     // a delivered batch entered the queue
+	recGreenBatch   = "greenBatch"   // a fused run was promoted to green
+	recOngoingBatch = "ongoingBatch" // a locally created submission batch
 )
 
 type logRecord struct {
-	T        string          `json:"t"`
-	Action   *types.Action   `json:"action,omitempty"`
-	ID       *types.ActionID `json:"id,omitempty"`
-	GreenSeq uint64          `json:"greenSeq,omitempty"`
-	State    *persistState   `json:"state,omitempty"`
-	Snap     *JoinSnapshot   `json:"snap,omitempty"`
+	T        string           `json:"t"`
+	Action   *types.Action    `json:"action,omitempty"`
+	Actions  []types.Action   `json:"actions,omitempty"` // recRedBatch / recOngoingBatch
+	ID       *types.ActionID  `json:"id,omitempty"`
+	IDs      []types.ActionID `json:"ids,omitempty"` // recGreenBatch
+	GreenSeq uint64           `json:"greenSeq,omitempty"`
+	State    *persistState    `json:"state,omitempty"`
+	Snap     *JoinSnapshot    `json:"snap,omitempty"`
 }
 
 // persistState is the engine metadata written at sync points.
@@ -182,9 +190,21 @@ func (e *Engine) recover() error {
 					e.replayTrackRed(a)
 				}
 			}
+		case recRedBatch:
+			for _, a := range rec.Actions {
+				if e.markRed(a, false) {
+					e.replayTrackRed(a)
+				}
+			}
 		case recGreen:
 			if rec.ID != nil {
 				if a, ok := e.queue.get(*rec.ID); ok && !e.queue.isGreen(a.ID) {
+					e.applyGreen(a)
+				}
+			}
+		case recGreenBatch:
+			for _, id := range rec.IDs {
+				if a, ok := e.queue.get(id); ok && !e.queue.isGreen(a.ID) {
 					e.applyGreen(a)
 				}
 			}
@@ -194,6 +214,15 @@ func (e *Engine) recover() error {
 				e.ongoing[rec.Action.ID] = *rec.Action
 				if rec.Action.ID.Index > e.actionIndex {
 					e.actionIndex = rec.Action.ID.Index
+				}
+			}
+		case recOngoingBatch:
+			for i := range rec.Actions {
+				a := rec.Actions[i]
+				ongoing[a.ID] = a
+				e.ongoing[a.ID] = a
+				if a.ID.Index > e.actionIndex {
+					e.actionIndex = a.ID.Index
 				}
 			}
 		case recState:

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"evsdb/internal/evs"
 	"evsdb/internal/types"
 )
 
@@ -41,6 +40,49 @@ func (e *Engine) onAction(a types.Action) {
 		// action yellow, and join that server in TransPrim.
 		e.install()
 		e.markYellow(a)
+		e.setState(TransPrim)
+	}
+}
+
+// onActionBatch handles delivery of an ActionBatch: the bundle occupies
+// one position in the total order, and every server unpacks it and
+// processes the inner actions in batch order — so the observable
+// expanded sequence is exactly what back-to-back single deliveries would
+// have produced, while the red/green bookkeeping and database apply
+// amortize over the batch.
+func (e *Engine) onActionBatch(acts []types.Action) {
+	if len(acts) == 0 {
+		return
+	}
+	switch e.st {
+	case NonPrim:
+		e.markRedBatch(acts, true)
+	case RegPrim:
+		e.markRedBatch(acts, false)
+		for _, a := range acts {
+			if a.GreenLine > e.greenKnown[a.ID.Server] {
+				e.greenKnown[a.ID.Server] = a.GreenLine
+			}
+		}
+		e.applyGreenBatch(acts)
+		e.collectWhite()
+	case TransPrim:
+		for _, a := range acts {
+			e.markYellow(a)
+		}
+	case ExchangeStates, ExchangeActions:
+		// Same rule as single actions: live traffic buffers until the
+		// exchange equalizes red cuts (see onAction).
+		e.liveBuf = append(e.liveBuf, acts...)
+	case Construct, No:
+		e.markRedBatch(acts, false)
+	case Un:
+		// Paper transition 1b, batch form: install once, then the whole
+		// bundle is yellow.
+		e.install()
+		for _, a := range acts {
+			e.markYellow(a)
+		}
 		e.setState(TransPrim)
 	}
 }
@@ -131,7 +173,7 @@ func (e *Engine) startCatchUp() {
 	e.awaitingSnap = true
 	if sender == e.id {
 		sm := snapMsg{Server: e.id, Conf: e.conf.ID, Round: e.exchRound, Snap: e.buildJoinSnapshot()}
-		_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emSnapshot, Snap: &sm}), evs.Safe)
+		_ = multicastMsg(e.gc, engineMsg{Kind: emSnapshot, Snap: &sm})
 	}
 }
 
@@ -151,7 +193,7 @@ func (e *Engine) onSnapshot(m snapMsg) {
 	e.plan = nil
 	e.pendingGreen = make(map[uint64]types.Action)
 	s := e.buildStateMsg()
-	_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emState, State: &s}), evs.Safe)
+	_ = multicastMsg(e.gc, engineMsg{Kind: emState, State: &s})
 }
 
 // applyCatchUp adopts a catch-up snapshot: members at or above the
@@ -310,7 +352,7 @@ func (e *Engine) shiftToExchangeStates() {
 	e.exchRound = 0
 	e.awaitingSnap = false
 	s := e.buildStateMsg()
-	_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emState, State: &s}), evs.Safe)
+	_ = multicastMsg(e.gc, engineMsg{Kind: emState, State: &s})
 	e.metrics.Exchanges++
 	e.setState(ExchangeStates)
 }
@@ -370,7 +412,7 @@ func (e *Engine) endOfRetrans() {
 		e.persistState()
 		e.syncLog("construct")
 		c := cpcMsg{Server: e.id, Conf: e.conf.ID}
-		_ = e.gc.Multicast(encodeEngineMsg(engineMsg{Kind: emCPC, CPC: &c}), evs.Safe)
+		_ = multicastMsg(e.gc, engineMsg{Kind: emCPC, CPC: &c})
 		e.setState(Construct)
 		return
 	}
@@ -404,12 +446,19 @@ func (e *Engine) flushLiveBuf() {
 // never lost (paper A.14); without re-sending them, the client's action
 // would sit in limbo until this server next recovers from its log.
 func (e *Engine) regenerateOngoing() {
+	var acts []types.Action
 	for idx := e.redCut[e.id] + 1; ; idx++ {
 		a, ok := e.ongoing[types.ActionID{Server: e.id, Index: idx}]
 		if !ok {
-			return
+			break
 		}
-		e.generate(a)
+		acts = append(acts, a)
+	}
+	max := max(e.maxBatch, 1)
+	for len(acts) > 0 {
+		n := min(max, len(acts))
+		e.generateBatch(acts[:n])
+		acts = acts[n:]
 	}
 }
 
@@ -460,6 +509,39 @@ func (e *Engine) markRed(a types.Action, track bool) bool {
 		e.trackRed(a)
 	}
 	return true
+}
+
+// markRedBatch accepts a delivered batch into the red zone. The FIFO
+// check and bookkeeping run per inner action, but every accepted action
+// shares ONE WAL record; tracking (eager apply / dirty overlay) runs
+// after logging, in batch order — equivalent to sequential markRed calls
+// because trackRed never consults the log. Returns the accepted actions.
+func (e *Engine) markRedBatch(acts []types.Action, track bool) []types.Action {
+	accepted := make([]types.Action, 0, len(acts))
+	for _, a := range acts {
+		if e.redCut[a.ID.Server] != a.ID.Index-1 {
+			continue // duplicate or out-of-order retransmission
+		}
+		e.redCut[a.ID.Server] = a.ID.Index
+		e.queue.appendRed(a)
+		if a.ID.Server == e.id {
+			delete(e.ongoing, a.ID)
+		}
+		accepted = append(accepted, a)
+	}
+	switch len(accepted) {
+	case 0:
+	case 1:
+		e.appendLog(logRecord{T: recRed, Action: &accepted[0]})
+	default:
+		e.appendLog(logRecord{T: recRedBatch, Actions: accepted})
+	}
+	if track {
+		for _, a := range accepted {
+			e.trackRed(a)
+		}
+	}
+	return accepted
 }
 
 // trackRed handles a red action that may stay red for a while: relaxed-
@@ -630,6 +712,119 @@ func (e *Engine) applyGreen(a types.Action) {
 	}
 	e.reply(a.ID, r)
 	e.releaseQueries(a.ID)
+}
+
+// applyGreenBatch promotes a batch of delivered actions to green in
+// batch order. Runs of "plain" update actions — no query to answer, no
+// eager-applied or deduplicated copy to resolve, no reconfiguration —
+// fuse into one applyGreenRun: one WAL record, one db.ApplyBatch under a
+// single lock acquisition, replies and dedup entries fanned back out per
+// action. Any action needing the full per-action machinery flushes the
+// pending run first and goes through applyGreen, so the observable order
+// is exactly the sequential one.
+func (e *Engine) applyGreenBatch(acts []types.Action) {
+	var run []types.Action
+	runKeys := make(map[string]bool)
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		e.applyGreenRun(run)
+		run = run[:0]
+		clear(runKeys)
+	}
+	for _, a := range acts {
+		if !e.queue.has(a.ID) || e.queue.isGreen(a.ID) {
+			continue // stale duplicate below the red cut, or already green
+		}
+		if e.plainGreen(a, runKeys) {
+			if a.Client != "" {
+				runKeys[eagerKey(a.Client, a.ClientSeq)] = true
+			}
+			run = append(run, a)
+			continue
+		}
+		flush()
+		e.applyGreen(a)
+	}
+	flush()
+}
+
+// plainGreen reports whether a green promotion of a can take the fused
+// path: a pure update whose apply, dedup record, and reply need no state
+// from the per-action branches of applyGreen. runKeys excludes a second
+// copy of an idempotency key already fused in the current run — it must
+// observe the first copy's dedup entry, so it takes the slow path after
+// a flush.
+func (e *Engine) plainGreen(a types.Action, runKeys map[string]bool) bool {
+	if a.Type != types.ActionUpdate || len(a.Update) == 0 || len(a.Query) > 0 {
+		return false
+	}
+	if e.appliedRed[a.ID] {
+		return false
+	}
+	if a.Client != "" {
+		k := eagerKey(a.Client, a.ClientSeq)
+		if runKeys[k] || e.eagerApplied[k] {
+			return false
+		}
+		if kind, _ := e.dedupLookup(a.Client, a.ClientSeq); kind != dedupFresh {
+			return false
+		}
+	}
+	return true
+}
+
+// applyGreenRun is the fused form of applyGreen for a run of plain
+// updates: promote all, ONE green WAL record, ONE history/watcher pass,
+// ONE db.ApplyBatch under a single lock — then per-action replies, dedup
+// entries, and query releases fan back out.
+func (e *Engine) applyGreenRun(run []types.Action) {
+	n := 0
+	seqs := make([]uint64, len(run))
+	updates := make([][]byte, len(run))
+	ids := make([]types.ActionID, len(run))
+	for _, a := range run {
+		seq, err := e.queue.promote(a.ID)
+		if err != nil {
+			continue
+		}
+		run[n], seqs[n], updates[n], ids[n] = a, seq, a.Update, a.ID
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	run, seqs, updates, ids = run[:n], seqs[:n], updates[:n], ids[:n]
+	e.metrics.Applied += uint64(n)
+	if n == 1 {
+		e.appendLog(logRecord{T: recGreen, ID: &ids[0], GreenSeq: seqs[0]})
+	} else {
+		e.appendLog(logRecord{T: recGreenBatch, IDs: ids})
+	}
+	e.histMu.Lock()
+	e.history = append(e.history, ids...)
+	e.histMu.Unlock()
+	e.notifyWatchers()
+	e.greenKnown[e.id] = e.queue.greenCount()
+	for _, a := range run {
+		if a.ID.Index > e.orderedIdx[a.ID.Server] {
+			e.orderedIdx[a.ID.Server] = a.ID.Index
+		}
+	}
+	errs := e.db.ApplyBatch(updates)
+	for i, a := range run {
+		var errStr string
+		if errs[i] != nil {
+			errStr = errs[i].Error()
+		}
+		if a.Client != "" {
+			delete(e.inflight, inflightKey{a.Client, a.ClientSeq})
+			e.recordDedup(a.Client, a.ClientSeq, DedupEntry{GreenSeq: seqs[i], Err: errStr})
+		}
+		e.reply(a.ID, Reply{GreenSeq: seqs[i], Err: errStr})
+		e.releaseQueries(a.ID)
+	}
 }
 
 // releaseQueries answers fast-path queries that were waiting for a local

@@ -1,0 +1,31 @@
+package evs
+
+import (
+	"testing"
+
+	"evsdb/internal/types"
+)
+
+// CodecAllocsPerOp measures allocations per encode and per decode of a
+// representative 200-byte data frame. cmd/evsbench records these in its
+// JSON output so codec regressions show up in the perf trajectory; the
+// encode side uses the pooled path the node's send path uses.
+func CodecAllocsPerOp() (encode, decode float64) {
+	m := wireMsg{Kind: kindData, Data: &dataMsg{
+		Conf:    types.ConfID{Counter: 7, Proposer: "s03"},
+		Sender:  "s11",
+		LSeq:    42,
+		Service: Safe,
+		Payload: make([]byte, 200),
+	}}
+	frame := encodeWire(m)
+	encode = testing.AllocsPerRun(200, func() {
+		encodePooled(m, func([]byte) {})
+	})
+	decode = testing.AllocsPerRun(200, func() {
+		if _, err := decodeWire(frame); err != nil {
+			panic(err)
+		}
+	})
+	return encode, decode
+}

@@ -4,15 +4,41 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"evsdb/internal/types"
 )
 
-// Wire format: every datagram starts with one kind byte. Hot-path
-// messages (data, order, ack, stable, nack) use a hand-rolled binary
-// layout — on a single-core host the JSON codec dominated per-hop
+// Wire format, version 1: every datagram starts with a three-byte header
+//
+//	[0] wireMagic — distinguishes EVS frames from foreign traffic
+//	[1] wire version — a frame from a node speaking another version
+//	    fails loudly at decode instead of being mis-parsed
+//	[2] message kind
+//
+// Hot-path messages (data, order, ack, stable, nack) use a hand-rolled
+// binary layout — on a single-core host the JSON codec dominated per-hop
 // latency. Membership messages (propose, flush*) are rare and stay JSON,
-// carried after the kind byte.
+// carried after the header.
+const (
+	wireMagic   = 0xE5
+	wireVersion = 1
+)
+
+// frameBufs pools encode buffers for the send path: every transport
+// either writes the frame out synchronously or copies it before
+// Multicast/Send returns, so the buffer is reusable immediately.
+var frameBufs = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// encodePooled encodes m into a pooled buffer, hands it to send, and
+// recycles the buffer.
+func encodePooled(m wireMsg, send func([]byte)) {
+	bp := frameBufs.Get().(*[]byte)
+	buf := appendWire((*bp)[:0], m)
+	send(buf)
+	*bp = buf[:0]
+	frameBufs.Put(bp)
+}
 
 // putStr appends a length-prefixed string.
 func putStr(buf []byte, s string) []byte {
@@ -50,12 +76,45 @@ func getConf(buf []byte) (types.ConfID, []byte, bool) {
 	return c, rest, true
 }
 
-func encodeWire(m wireMsg) []byte {
+// confSize is the exact encoded size of a configuration id.
+func confSize(c types.ConfID) int { return 8 + 2 + len(c.Proposer) }
+
+// wireSize returns the exact encoded size of a binary-bodied message
+// (header included), so encodes allocate or grow at most once. JSON
+// bodies return a guess; append handles the rest.
+func wireSize(m wireMsg) int {
 	switch m.Kind {
 	case kindData:
 		d := m.Data
-		buf := make([]byte, 0, 32+len(d.Payload)+len(d.Sender)+len(d.Conf.Proposer))
-		buf = append(buf, byte(kindData))
+		return 3 + confSize(d.Conf) + 2 + len(d.Sender) + 8 + 1 + 4 + len(d.Payload)
+	case kindOrder:
+		n := 3 + confSize(m.Order.Conf) + 4
+		for _, e := range m.Order.Entries {
+			n += 8 + 2 + len(e.Sender) + 8
+		}
+		return n
+	case kindAck:
+		return 3 + confSize(m.Ack.Conf) + 16
+	case kindStable:
+		n := 3 + confSize(m.Stable.Conf) + 8 + 4
+		for id := range m.Stable.SentHigh {
+			n += 2 + len(id) + 8
+		}
+		return n
+	case kindNack:
+		nk := m.Nack
+		return 3 + confSize(nk.Conf) + 2 + len(nk.Sender) + 4 + 8*len(nk.LSeqs) + 4 + 8*len(nk.GSeqs)
+	default:
+		return 64
+	}
+}
+
+// appendWire appends the framed encoding of m to buf.
+func appendWire(buf []byte, m wireMsg) []byte {
+	buf = append(buf, wireMagic, wireVersion, byte(m.Kind))
+	switch m.Kind {
+	case kindData:
+		d := m.Data
 		buf = putConf(buf, d.Conf)
 		buf = putStr(buf, string(d.Sender))
 		buf = binary.LittleEndian.AppendUint64(buf, d.LSeq)
@@ -64,8 +123,6 @@ func encodeWire(m wireMsg) []byte {
 		return append(buf, d.Payload...)
 	case kindOrder:
 		o := m.Order
-		buf := make([]byte, 0, 16+24*len(o.Entries))
-		buf = append(buf, byte(kindOrder))
 		buf = putConf(buf, o.Conf)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.Entries)))
 		for _, e := range o.Entries {
@@ -76,15 +133,11 @@ func encodeWire(m wireMsg) []byte {
 		return buf
 	case kindAck:
 		a := m.Ack
-		buf := make([]byte, 0, 40)
-		buf = append(buf, byte(kindAck))
 		buf = putConf(buf, a.Conf)
 		buf = binary.LittleEndian.AppendUint64(buf, a.UpTo)
 		return binary.LittleEndian.AppendUint64(buf, a.SentHigh)
 	case kindStable:
 		s := m.Stable
-		buf := make([]byte, 0, 32+16*len(s.SentHigh))
-		buf = append(buf, byte(kindStable))
 		buf = putConf(buf, s.Conf)
 		buf = binary.LittleEndian.AppendUint64(buf, s.UpTo)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.SentHigh)))
@@ -95,8 +148,6 @@ func encodeWire(m wireMsg) []byte {
 		return buf
 	case kindNack:
 		nk := m.Nack
-		buf := make([]byte, 0, 32+8*(len(nk.LSeqs)+len(nk.GSeqs)))
-		buf = append(buf, byte(kindNack))
 		buf = putConf(buf, nk.Conf)
 		buf = putStr(buf, string(nk.Sender))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nk.LSeqs)))
@@ -113,16 +164,32 @@ func encodeWire(m wireMsg) []byte {
 		if err != nil {
 			panic(fmt.Sprintf("evs: marshal %v: %v", m.Kind, err))
 		}
-		return append([]byte{byte(m.Kind)}, body...)
+		return append(buf, body...)
 	}
 }
 
+func encodeWire(m wireMsg) []byte {
+	return appendWire(make([]byte, 0, wireSize(m)), m)
+}
+
 func decodeWire(buf []byte) (wireMsg, error) {
-	if len(buf) == 0 {
-		return wireMsg{}, fmt.Errorf("evs: empty datagram")
+	if len(buf) < 3 {
+		return wireMsg{}, fmt.Errorf("evs: datagram too short (%d bytes)", len(buf))
 	}
-	kind := msgKind(buf[0])
-	rest := buf[1:]
+	if buf[0] != wireMagic {
+		return wireMsg{}, fmt.Errorf("evs: not an evs frame (magic 0x%02x)", buf[0])
+	}
+	if buf[1] != wireVersion {
+		// Loud, specific failure: a mixed-version group must surface the
+		// incompatibility instead of mis-parsing frames.
+		return wireMsg{}, fmt.Errorf("evs: wire version mismatch: frame v%d, this node speaks v%d",
+			buf[1], wireVersion)
+	}
+	kind := msgKind(buf[2])
+	rest := buf[3:]
+	if kind < kindData || kind > kindFlushDone {
+		return wireMsg{}, fmt.Errorf("evs: unknown message kind %d", int(kind))
+	}
 	bad := func() (wireMsg, error) {
 		return wireMsg{}, fmt.Errorf("evs: truncated %v datagram", kind)
 	}

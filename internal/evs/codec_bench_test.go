@@ -1,0 +1,74 @@
+package evs
+
+import (
+	"testing"
+
+	"evsdb/internal/types"
+)
+
+func benchDataMsg() wireMsg {
+	return wireMsg{Kind: kindData, Data: &dataMsg{
+		Conf:    types.ConfID{Counter: 7, Proposer: "s03"},
+		Sender:  "s11",
+		LSeq:    42,
+		Service: Safe,
+		Payload: make([]byte, 200),
+	}}
+}
+
+func benchOrderMsg() wireMsg {
+	entries := make([]orderEntry, 16)
+	for i := range entries {
+		entries[i] = orderEntry{GSeq: uint64(100 + i), Sender: "s03", LSeq: uint64(i)}
+	}
+	return wireMsg{Kind: kindOrder, Order: &orderMsg{
+		Conf:    types.ConfID{Counter: 7, Proposer: "s03"},
+		Entries: entries,
+	}}
+}
+
+func BenchmarkEncodeWireData(b *testing.B) {
+	m := benchDataMsg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = encodeWire(m)
+	}
+}
+
+// BenchmarkEncodeWireDataPooled is the node send path: encode into a
+// pooled frame buffer (steady state: zero allocations).
+func BenchmarkEncodeWireDataPooled(b *testing.B) {
+	m := benchDataMsg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		encodePooled(m, func([]byte) {})
+	}
+}
+
+func BenchmarkDecodeWireData(b *testing.B) {
+	frame := encodeWire(benchDataMsg())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeWire(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeWireOrder(b *testing.B) {
+	m := benchOrderMsg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = encodeWire(m)
+	}
+}
+
+func BenchmarkDecodeWireOrder(b *testing.B) {
+	frame := encodeWire(benchOrderMsg())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeWire(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

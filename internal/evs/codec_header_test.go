@@ -1,0 +1,57 @@
+package evs
+
+import (
+	"strings"
+	"testing"
+
+	"evsdb/internal/types"
+)
+
+// The framed wire format opens with [magic][version][kind]; these tests
+// pin the header bytes and the failure modes a mixed-version or foreign
+// peer must hit loudly.
+
+func TestCodecFrameHeader(t *testing.T) {
+	frame := encodeWire(wireMsg{Kind: kindAck, Ack: &ackMsg{
+		Conf: types.ConfID{Counter: 1, Proposer: "s00"}, UpTo: 5,
+	}})
+	if len(frame) < 3 {
+		t.Fatalf("frame too short: %d bytes", len(frame))
+	}
+	if frame[0] != wireMagic {
+		t.Fatalf("frame[0] = %#x, want magic %#x", frame[0], wireMagic)
+	}
+	if frame[1] != wireVersion {
+		t.Fatalf("frame[1] = %d, want version %d", frame[1], wireVersion)
+	}
+	if frame[2] != byte(kindAck) {
+		t.Fatalf("frame[2] = %d, want kind %d", frame[2], kindAck)
+	}
+}
+
+func TestCodecRejectsWrongMagic(t *testing.T) {
+	frame := encodeWire(wireMsg{Kind: kindFlushDone, FlushDone: &flushDoneMsg{}})
+	frame[0] ^= 0xFF
+	if _, err := decodeWire(frame); err == nil {
+		t.Fatal("decode accepted a frame with the wrong magic byte")
+	}
+}
+
+func TestCodecVersionMismatchIsLoud(t *testing.T) {
+	frame := encodeWire(wireMsg{Kind: kindFlushDone, FlushDone: &flushDoneMsg{}})
+	frame[1] = wireVersion + 1
+	_, err := decodeWire(frame)
+	if err == nil {
+		t.Fatal("decode accepted a future-version frame")
+	}
+	if !strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("version error not loud enough: %v", err)
+	}
+}
+
+func TestCodecRejectsUnknownKind(t *testing.T) {
+	frame := []byte{wireMagic, wireVersion, 0xFE}
+	if _, err := decodeWire(frame); err == nil {
+		t.Fatal("decode accepted an unknown message kind")
+	}
+}

@@ -394,11 +394,11 @@ func (n *Node) sendData(od outData) {
 }
 
 func (n *Node) multicast(to []types.ServerID, m wireMsg) {
-	_ = n.tr.Multicast(to, encodeWire(m))
+	encodePooled(m, func(buf []byte) { _ = n.tr.Multicast(to, buf) })
 }
 
 func (n *Node) unicast(to types.ServerID, m wireMsg) {
-	_ = n.tr.Send(to, encodeWire(m))
+	encodePooled(m, func(buf []byte) { _ = n.tr.Send(to, buf) })
 }
 
 // reachable returns the failure detector's current estimate, always

@@ -33,6 +33,12 @@ const (
 	// partitions, crashes and view changes. The dedup invariant says the
 	// key still applies at most once and every reply agrees.
 	StepRetry
+	// StepSubmitBurst fires Count uniquely keyed submissions back-to-back
+	// through one node with no pacing between them, so they race into the
+	// engine's batch collection window and travel as multi-action bundles
+	// (core.Config.MaxBatchActions > 1). The invariants don't change: the
+	// burst must expand into the same global order everywhere.
+	StepSubmitBurst
 )
 
 // Step is one schedule entry. Nodes are ordinals into the cluster's
@@ -46,6 +52,7 @@ type Step struct {
 	Point  string  // StepCrashAt: barrier name, "*" = any barrier
 	Ms     int     // StepSettle: duration in milliseconds
 	Sub    int     // StepRetry: ordinal of the submission to re-send
+	Count  int     // StepSubmitBurst: submissions in the burst
 }
 
 // Schedule is a reproducible fault-injection scenario: everything about
@@ -58,6 +65,8 @@ type Schedule struct {
 	// Retry marks schedules produced by GenerateRetry, so failure reports
 	// print the right replay command.
 	Retry bool
+	// Batch marks schedules produced by GenerateBatch (same purpose).
+	Batch bool
 }
 
 // crashPoints are the barrier names StepCrashAt can target (see the
@@ -171,6 +180,63 @@ func GenerateRetry(seed int64) *Schedule {
 	return s
 }
 
+// GenerateBatch derives a random schedule biased toward submit storms:
+// bursts of 8–32 back-to-back submissions race partitions, barrier
+// crashes and recoveries, so multi-action bundles are in flight while
+// the membership churns — batches split across transitional
+// configurations, bundles retransmitted through exchanges, bursts
+// buffered during state exchange. Retries of burst keys ride along to
+// stress the in-batch dedup path. Own seed space (Generate and
+// GenerateRetry keep their vetted corpora).
+func GenerateBatch(seed int64) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, Nodes: 3 + rng.Intn(3), Batch: true}
+	steps := 10 + rng.Intn(12)
+	up := make([]bool, s.Nodes)
+	for i := range up {
+		up[i] = true
+	}
+	downCount, nsub := 0, 0
+	for len(s.Steps) < steps {
+		switch w := rng.Intn(100); {
+		case w < 35:
+			n := 8 + rng.Intn(25)
+			s.Steps = append(s.Steps, Step{Kind: StepSubmitBurst, Node: rng.Intn(s.Nodes), Count: n})
+			nsub += n
+		case w < 45:
+			if nsub == 0 {
+				continue
+			}
+			s.Steps = append(s.Steps, Step{Kind: StepRetry, Node: rng.Intn(s.Nodes), Sub: rng.Intn(nsub)})
+		case w < 60:
+			s.Steps = append(s.Steps, Step{Kind: StepPartition, Groups: randGroups(rng, s.Nodes)})
+		case w < 68:
+			s.Steps = append(s.Steps, Step{Kind: StepHeal})
+		case w < 78:
+			if n := rng.Intn(s.Nodes); up[n] && downCount+1 < (s.Nodes+2)/2 {
+				kind := StepCrash
+				point := ""
+				if rng.Intn(2) == 0 {
+					kind = StepCrashAt
+					point = crashPoints[rng.Intn(len(crashPoints))]
+				}
+				s.Steps = append(s.Steps, Step{Kind: kind, Node: n, Point: point})
+				up[n] = false
+				downCount++
+			}
+		case w < 90:
+			if n := rng.Intn(s.Nodes); !up[n] {
+				s.Steps = append(s.Steps, Step{Kind: StepRecover, Node: n})
+				up[n] = true
+				downCount--
+			}
+		default:
+			s.Steps = append(s.Steps, Step{Kind: StepSettle, Ms: 5 + rng.Intn(25)})
+		}
+	}
+	return s
+}
+
 // randGroups partitions ordinals 0..n-1 into 1–3 shuffled components.
 func randGroups(rng *rand.Rand, n int) [][]int {
 	order := rng.Perm(n)
@@ -211,6 +277,8 @@ func (st Step) String() string {
 		return fmt.Sprintf("settle:%dms", st.Ms)
 	case StepRetry:
 		return fmt.Sprintf("retry#%d@%d", st.Sub, st.Node)
+	case StepSubmitBurst:
+		return fmt.Sprintf("burst:%d@%d", st.Count, st.Node)
 	default:
 		return fmt.Sprintf("step(%d)", int(st.Kind))
 	}

@@ -231,6 +231,9 @@ func (r *runner) seeded(err error) error {
 	if r.sched.Retry {
 		flag = " -retry"
 	}
+	if r.sched.Batch {
+		flag = " -batch"
+	}
 	return fmt.Errorf("seed %d: %w (replay: go run ./cmd/evssim%s -seed %d)", r.sched.Seed, err, flag, r.sched.Seed)
 }
 
@@ -274,29 +277,17 @@ func (r *runner) drainFired() {
 func (r *runner) apply(st Step) bool {
 	switch st.Kind {
 	case StepSubmit:
-		id := r.pickAlive(st.Node)
-		if id == "" {
-			return false
+		return r.submitOne(st.Node)
+	case StepSubmitBurst:
+		// Back-to-back submissions with no pacing: they race into the
+		// engine's batch collection window and travel as bundles.
+		ok := false
+		for i := 0; i < max(st.Count, 1); i++ {
+			if r.submitOne(st.Node) {
+				ok = true
+			}
 		}
-		rep := r.c.Replica(id)
-		if rep == nil {
-			return false
-		}
-		r.nsub++
-		key := fmt.Sprintf("k%04d", r.nsub)
-		val := fmt.Sprintf("v%d-%d", r.sched.Seed, r.nsub)
-		sub := &pendingSubmit{
-			key: key, val: val,
-			client: simClient, seq: uint64(r.nsub),
-			update: db.EncodeUpdate(db.Set(key, val), db.Add("ctr:"+key, 1)),
-		}
-		ch, err := rep.Engine.SubmitKeyedAsync(sub.client, sub.seq, sub.update, nil, types.SemStrict)
-		if err != nil {
-			return false
-		}
-		sub.attempts = append(sub.attempts, submitAttempt{origin: id, ch: ch})
-		r.subs = append(r.subs, sub)
-		return true
+		return ok
 	case StepRetry:
 		if len(r.subs) == 0 {
 			return false
@@ -387,6 +378,34 @@ func (r *runner) apply(st Step) bool {
 		return true
 	}
 	return false
+}
+
+// submitOne fires one uniquely keyed strict submission through the
+// preferred node (shared by StepSubmit and StepSubmitBurst).
+func (r *runner) submitOne(node int) bool {
+	id := r.pickAlive(node)
+	if id == "" {
+		return false
+	}
+	rep := r.c.Replica(id)
+	if rep == nil {
+		return false
+	}
+	r.nsub++
+	key := fmt.Sprintf("k%04d", r.nsub)
+	val := fmt.Sprintf("v%d-%d", r.sched.Seed, r.nsub)
+	sub := &pendingSubmit{
+		key: key, val: val,
+		client: simClient, seq: uint64(r.nsub),
+		update: db.EncodeUpdate(db.Set(key, val), db.Add("ctr:"+key, 1)),
+	}
+	ch, err := rep.Engine.SubmitKeyedAsync(sub.client, sub.seq, sub.update, nil, types.SemStrict)
+	if err != nil {
+		return false
+	}
+	sub.attempts = append(sub.attempts, submitAttempt{origin: id, ch: ch})
+	r.subs = append(r.subs, sub)
+	return true
 }
 
 // pickAlive returns the preferred node if alive, else the first alive

@@ -88,6 +88,37 @@ func TestSimRetryCorpus(t *testing.T) {
 	}
 }
 
+// batchCorpus is the fixed seed set for the burst-heavy generator:
+// storms of back-to-back submissions travel as multi-action bundles
+// (the cluster runs the engine's default MaxBatchActions > 1) while
+// partitions, barrier crashes and recoveries churn underneath. The
+// invariant battery is unchanged — a bundle must expand into the same
+// global order everywhere, with exactly-once semantics per key.
+var batchCorpus = func() []int64 {
+	seeds := make([]int64, 0, 40)
+	for s := int64(1); s <= 40; s++ {
+		seeds = append(seeds, s)
+	}
+	return seeds
+}()
+
+// TestSimBatchCorpus drives the fixed batching-under-faults corpus.
+func TestSimBatchCorpus(t *testing.T) {
+	if *simSeed != 0 {
+		t.Skip("-sim.seed set; see TestSimSeed")
+	}
+	for _, seed := range batchCorpus {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res := Run(GenerateBatch(seed), Options{})
+			if res.Failed() {
+				t.Errorf("%v\npost-mortem:\n%s", res.Err, res.Report)
+			}
+		})
+	}
+}
+
 // TestSimRandom explores fresh random seeds (long mode only). The base
 // seed is logged so a failing batch is re-runnable with -sim.seed.
 func TestSimRandom(t *testing.T) {
