@@ -27,6 +27,7 @@ import (
 	"evsdb/internal/bench"
 	"evsdb/internal/core"
 	"evsdb/internal/evs"
+	"evsdb/internal/obs"
 )
 
 func main() {
@@ -38,12 +39,13 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig5a, fig5b, latency, batching, all")
-		replicas = flag.Int("replicas", 14, "number of replicas (paper: 14)")
-		actions  = flag.Int("actions", 100, "actions per client per data point")
-		syncLat  = flag.Duration("sync", 2*time.Millisecond, "simulated forced-write latency")
-		clients  = flag.String("clients", "1,2,4,7,10,14", "client counts for throughput curves")
-		jsonPath = flag.String("json", "", "write batching results to this JSON file (e.g. BENCH_batching.json)")
+		exp         = flag.String("exp", "all", "experiment: fig5a, fig5b, latency, batching, all")
+		replicas    = flag.Int("replicas", 14, "number of replicas (paper: 14)")
+		actions     = flag.Int("actions", 100, "actions per client per data point")
+		syncLat     = flag.Duration("sync", 2*time.Millisecond, "simulated forced-write latency")
+		clients     = flag.String("clients", "1,2,4,7,10,14", "client counts for throughput curves")
+		jsonPath    = flag.String("json", "", "write batching results to this JSON file (e.g. BENCH_batching.json)")
+		metricsPath = flag.String("metrics", "", "write replica 0's final /metrics exposition from the batching experiment to this file (validated against the in-repo parser)")
 	)
 	flag.Parse()
 
@@ -66,7 +68,7 @@ func run() error {
 	case "costmodel":
 		return costModel(*replicas, *actions, *syncLat)
 	case "batching":
-		return batching(*replicas, clientCounts, *actions, *syncLat, *jsonPath)
+		return batching(*replicas, clientCounts, *actions, *syncLat, *jsonPath, *metricsPath)
 	case "all":
 		if err := fig5a(*replicas, clientCounts, *actions, *syncLat); err != nil {
 			return err
@@ -80,7 +82,7 @@ func run() error {
 		if err := costModel(*replicas, *actions, *syncLat); err != nil {
 			return err
 		}
-		return batching(*replicas, clientCounts, *actions, *syncLat, *jsonPath)
+		return batching(*replicas, clientCounts, *actions, *syncLat, *jsonPath, *metricsPath)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -166,7 +168,7 @@ func toRun(mode string, r bench.Result) batchRun {
 // forced-write closed-loop workload with batching disabled (MaxBatch 1,
 // the pre-batching pipeline) versus enabled (engine defaults), plus the
 // wire codecs' allocations per operation.
-func batching(replicas int, clients []int, actions int, syncLat time.Duration, jsonPath string) error {
+func batching(replicas int, clients []int, actions int, syncLat time.Duration, jsonPath, metricsPath string) error {
 	fmt.Printf("== Batching: engine forced writes, %d replicas, batching off vs on (sync=%v) ==\n",
 		replicas, syncLat)
 	report := batchReport{
@@ -176,6 +178,7 @@ func batching(replicas int, clients []int, actions int, syncLat time.Duration, j
 		Workload:    fmt.Sprintf("closed-loop, %d strict 200B update actions per client", actions),
 		Speedup:     make(map[string]float64),
 	}
+	var exposition string // replica 0's metrics from the last batched run
 	for _, n := range clients {
 		base := bench.Config{
 			System:           bench.Engine,
@@ -184,8 +187,10 @@ func batching(replicas int, clients []int, actions int, syncLat time.Duration, j
 			ActionsPerClient: actions,
 			SyncLatency:      syncLat,
 		}
+		base.CaptureMetrics = metricsPath != ""
 		off := base
 		off.MaxBatch = 1 // disable batching
+		off.CaptureMetrics = false
 		unbatched, err := bench.Run(off)
 		if err != nil {
 			return fmt.Errorf("unbatched clients=%d: %w", n, err)
@@ -199,6 +204,7 @@ func batching(replicas int, clients []int, actions int, syncLat time.Duration, j
 		fmt.Printf("  on  %v  (%.2fx)\n", batched, speedup)
 		report.Runs = append(report.Runs, toRun("unbatched", unbatched), toRun("batched", batched))
 		report.Speedup[strconv.Itoa(n)] = speedup
+		exposition = batched.Metrics
 	}
 
 	evsEnc, evsDec := evs.CodecAllocsPerOp()
@@ -225,6 +231,17 @@ func batching(replicas int, clients []int, actions int, syncLat time.Duration, j
 			return err
 		}
 		fmt.Printf("  wrote %s\n\n", jsonPath)
+	}
+	if metricsPath != "" {
+		// Reject the exposition before writing it: an unparseable scrape is
+		// a bug, and this is the check CI leans on.
+		if _, err := obs.ParseExposition(exposition); err != nil {
+			return fmt.Errorf("metrics exposition invalid: %w", err)
+		}
+		if err := os.WriteFile(metricsPath, []byte(exposition), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s (%d bytes, parser-validated)\n\n", metricsPath, len(exposition))
 	}
 	return nil
 }

@@ -19,16 +19,24 @@
 // the same key return the original reply instead of re-applying.
 // Overload answers 503 with a Retry-After hint (see -max-inflight).
 //
-// -pprof-addr serves net/http/pprof on a separate address (off by
-// default; bind it to loopback — the endpoint is unauthenticated).
+// -admin-addr serves the operator surface on a separate address (off by
+// default; bind it to loopback — the endpoints are unauthenticated):
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /debug/events   recent state-machine event trace
+//	GET /debug/pprof/   net/http/pprof profiles
+//
+// Logs are structured (log/slog, JSON to stderr); -log-level selects
+// the threshold.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
-	_ "net/http/pprof" // registered on the -pprof-addr server only
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +46,7 @@ import (
 	"evsdb/internal/core"
 	"evsdb/internal/evs"
 	"evsdb/internal/httpapi"
+	"evsdb/internal/obs"
 	"evsdb/internal/storage"
 	"evsdb/internal/transport/tcpnet"
 	"evsdb/internal/types"
@@ -63,7 +72,8 @@ func run() error {
 		httpTimeout = flag.Duration("http-timeout", 0, "server-side deadline per client request (0: default)")
 		maxBatch    = flag.Int("max-batch", 0, "max actions coalesced into one multicast bundle (0: default, 1: disable batching)")
 		batchDelay  = flag.Duration("batch-delay", 0, "how long a submission waits for bundle companions (0: default, <0: no wait)")
-		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+		adminAddr   = flag.String("admin-addr", "", "serve /metrics, /debug/events and /debug/pprof on this address (empty: disabled)")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -72,6 +82,19 @@ func run() error {
 	if *walPath == "" {
 		*walPath = *id + ".wal"
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	// The engine stamps "server" on its own records, so the handler adds
+	// no pre-bound attrs (they would duplicate).
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// One observer bundle is shared by every layer: transport, group
+	// communication and the replication engine all register into the same
+	// metrics registry and event ring, so /metrics is one coherent scrape.
+	ob := obs.NewObserver().WithLogger(logger)
 
 	peers := make(map[types.ServerID]string)
 	servers := []types.ServerID{types.ServerID(*id)}
@@ -92,6 +115,7 @@ func run() error {
 		ID:     types.ServerID(*id),
 		Listen: *listen,
 		Peers:  peers,
+		Obs:    ob,
 	})
 	if err != nil {
 		return err
@@ -108,7 +132,7 @@ func run() error {
 	}
 	defer wal.Close()
 
-	gc := evs.NewNode(tr, evs.WithTick(5*time.Millisecond))
+	gc := evs.NewNode(tr, evs.WithTick(5*time.Millisecond), evs.WithObserver(ob))
 	defer gc.Close()
 
 	eng, err := core.New(core.Config{
@@ -120,6 +144,7 @@ func run() error {
 		MaxInFlight:     *maxInFlight,
 		MaxBatchActions: *maxBatch,
 		MaxBatchDelay:   *batchDelay,
+		Obs:             ob,
 	})
 	if err != nil {
 		return err
@@ -134,14 +159,22 @@ func run() error {
 	srv := &http.Server{Addr: *httpAddr, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	if *pprofAddr != "" {
-		// The pprof import registers its handlers on http.DefaultServeMux;
-		// serving nil here exposes exactly those, on a separate listener so
-		// profiling never shares a port with the client API.
-		go func() { errCh <- http.ListenAndServe(*pprofAddr, nil) }()
-		fmt.Printf("replica %s: pprof on http://%s/debug/pprof/\n", *id, *pprofAddr)
+	if *adminAddr != "" {
+		// The admin surface gets its own mux (never DefaultServeMux) and
+		// its own listener, so profiling and scraping never share a port
+		// with the client API.
+		admin := http.NewServeMux()
+		admin.Handle("GET /metrics", ob.Reg)
+		admin.HandleFunc("GET /debug/events", ob.ServeEvents)
+		admin.HandleFunc("/debug/pprof/", pprof.Index)
+		admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { errCh <- http.ListenAndServe(*adminAddr, admin) }()
+		logger.Info("admin listener up", "server", *id, "addr", *adminAddr)
 	}
-	fmt.Printf("replica %s: replication on %s, clients on http://%s\n", *id, *listen, *httpAddr)
+	logger.Info("replica up", "server", *id, "replication", *listen, "clients", *httpAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

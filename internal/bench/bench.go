@@ -78,6 +78,10 @@ type Config struct {
 	// BatchDelay sets the engines' batch collection window (see
 	// core.Config.MaxBatchDelay).
 	BatchDelay time.Duration
+	// CaptureMetrics renders replica 0's metrics registry (Prometheus
+	// text) into Result.Metrics after the run, before teardown. Engine
+	// systems only; the baselines are not instrumented.
+	CaptureMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +114,9 @@ type Result struct {
 	AvgLatency time.Duration
 	P50Latency time.Duration
 	P99Latency time.Duration
+	// Metrics is replica 0's Prometheus text exposition, captured at the
+	// end of the run when Config.CaptureMetrics is set.
+	Metrics string
 }
 
 func (r Result) String() string {
@@ -219,6 +226,16 @@ func Run(cfg Config) (Result, error) {
 	if runErr != nil {
 		return Result{}, runErr
 	}
+	var metrics string
+	if cfg.CaptureMetrics {
+		if eng := runner.Engine(0); eng != nil {
+			var b strings.Builder
+			if err := eng.Observer().Reg.WriteText(&b); err != nil {
+				return Result{}, fmt.Errorf("metrics render: %w", err)
+			}
+			metrics = b.String()
+		}
+	}
 	var lat time.Duration
 	for _, d := range lats {
 		lat += d
@@ -234,6 +251,7 @@ func Run(cfg Config) (Result, error) {
 		AvgLatency: lat / time.Duration(total),
 		P50Latency: percentile(lats, 50),
 		P99Latency: percentile(lats, 99),
+		Metrics:    metrics,
 	}, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"evsdb/internal/core"
 	"evsdb/internal/db"
 	"evsdb/internal/evs"
+	"evsdb/internal/obs"
 	"evsdb/internal/quorum"
 	"evsdb/internal/storage"
 	"evsdb/internal/transport/memnet"
@@ -78,6 +79,10 @@ type Replica struct {
 	GC     *evs.Node
 	Log    *storage.MemLog
 	DB     *db.Database
+	// Obs is the observer shared by the replica's engine and EVS node: one
+	// metrics registry and one event ring per incarnation (a recovery gets
+	// a fresh one, like a restarted process would).
+	Obs *obs.Observer
 }
 
 // Cluster is a set of replicas over one partitionable network.
@@ -132,7 +137,8 @@ func (c *Cluster) start(id types.ServerID, snap *core.JoinSnapshot, recovering b
 	if err != nil {
 		return nil, fmt.Errorf("attach %s: %w", id, err)
 	}
-	gc := evs.NewNode(ep, evs.WithTick(c.evsTick))
+	ob := obs.NewObserver()
+	gc := evs.NewNode(ep, evs.WithTick(c.evsTick), evs.WithObserver(ob))
 
 	c.mu.Lock()
 	var log *storage.MemLog
@@ -155,6 +161,7 @@ func (c *Cluster) start(id types.ServerID, snap *core.JoinSnapshot, recovering b
 		Recover:         recovering,
 		MaxBatchActions: c.maxBatch,
 		MaxBatchDelay:   c.batchDelay,
+		Obs:             ob,
 	}
 	if c.crashHook != nil {
 		cfg.SyncHook = func(point string) bool {
@@ -175,7 +182,7 @@ func (c *Cluster) start(id types.ServerID, snap *core.JoinSnapshot, recovering b
 		gc.Close()
 		return nil, fmt.Errorf("engine %s: %w", id, err)
 	}
-	r := &Replica{ID: id, Engine: eng, GC: gc, Log: log, DB: database}
+	r := &Replica{ID: id, Engine: eng, GC: gc, Log: log, DB: database, Obs: ob}
 	c.mu.Lock()
 	c.replicas[id] = r
 	c.mu.Unlock()

@@ -85,8 +85,8 @@ func TestBatchSameKeyDedupedWithinBatch(t *testing.T) {
 	if ent.GreenSeq != 1 {
 		t.Fatalf("dedup entry points at green seq %d, want 1 (the first copy)", ent.GreenSeq)
 	}
-	if e.metrics.Duplicates != 1 {
-		t.Fatalf("duplicates metric %d, want 1", e.metrics.Duplicates)
+	if e.metricsSnapshot().Duplicates != 1 {
+		t.Fatalf("duplicates metric %d, want 1", e.metricsSnapshot().Duplicates)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 
 	"evsdb/internal/db"
 	"evsdb/internal/evs"
+	"evsdb/internal/obs"
 	"evsdb/internal/quorum"
 	"evsdb/internal/storage"
 	"evsdb/internal/types"
@@ -201,11 +202,17 @@ type Config struct {
 	// crash exactly at the barrier. Used by fault-injection harnesses
 	// (internal/sim); nil in production.
 	SyncHook func(point string) bool
+	// Obs is the observability bundle (metrics registry, event tracer,
+	// logger) this engine instruments. Nil means a fresh private bundle;
+	// a process hosting engine + EVS + transport passes one shared
+	// Observer so its /metrics endpoint shows the whole node.
+	Obs *obs.Observer
 }
 
 type submitReq struct {
 	action types.Action
 	ch     chan Reply
+	at     time.Time // submission time, for the latency histograms
 }
 
 type joinReq struct {
@@ -360,7 +367,10 @@ type Engine struct {
 	liveBuf          []types.Action                // live actions held back during an exchange (see onAction)
 	replaying        bool                          // suppress logging/replies during recovery
 	ioFailed         bool                          // stable storage failed; refuse new work
-	metrics          Metrics
+	obs              *obs.Observer
+	om               *coreObs
+	submitMeta       map[types.ActionID]submitMeta // open latency samples for locally created actions
+	exchStart        time.Time                     // when the current exchange round entered ExchangeStates
 }
 
 // New assembles an engine, optionally recovers it from its log, and
@@ -432,7 +442,13 @@ func newEngine(cfg Config) (*Engine, error) {
 		watchers:     make(map[chan struct{}]struct{}),
 		syncHook:     cfg.SyncHook,
 		maxInFlight:  cfg.MaxInFlight,
+		obs:          cfg.Obs,
+		submitMeta:   make(map[types.ActionID]submitMeta),
 	}
+	if e.obs == nil {
+		e.obs = obs.NewObserver()
+	}
+	e.om = newCoreObs(e.obs.Reg)
 	if e.maxInFlight == 0 {
 		e.maxInFlight = DefaultMaxInFlight
 	}
@@ -526,7 +542,7 @@ func (e *Engine) SubmitKeyedAsync(client string, seq uint64, update []byte, quer
 	if len(update) == 0 && len(query) > 0 {
 		a.Type = types.ActionQuery
 	}
-	req := submitReq{action: a, ch: make(chan Reply, 1)}
+	req := submitReq{action: a, ch: make(chan Reply, 1), at: time.Now()}
 	select {
 	case e.submitCh <- req:
 		return req.ch, nil
@@ -649,7 +665,11 @@ func (e *Engine) setState(s State) {
 	if e.st == s {
 		return
 	}
+	e.obs.Trace.Record(obs.EvState, uint64(e.st), uint64(s), 0)
+	e.obs.Log.Info("state transition",
+		"server", string(e.id), "conf", e.conf.ID, "from", e.st.String(), "state", s.String())
 	e.st = s
+	e.om.gState.Set(int64(s))
 	e.notifyWatchers()
 }
 
@@ -742,6 +762,9 @@ func (e *Engine) run() {
 		case <-e.stop:
 			return
 		}
+		// Publish run-loop-owned counts to the registry after every event,
+		// so /metrics — served from other goroutines — stays current.
+		e.syncGauges()
 	}
 }
 
@@ -760,7 +783,7 @@ func (e *Engine) statusLocked() Status {
 		Prim:       e.prim,
 		Vulnerable: e.vuln.Status,
 		ServerSet:  set,
-		Metrics:    e.metrics,
+		Metrics:    e.metricsSnapshot(),
 		InFlight:   len(e.pendingReply) + len(e.buffered),
 		Sessions:   len(e.sessions),
 	}
@@ -845,7 +868,7 @@ func (e *Engine) collectSubmits(first submitReq) []submitReq {
 		break
 	}
 	if e.batchDelay <= 0 || len(reqs) >= e.maxBatch {
-		return reqs
+		return e.noteFlush(reqs, obs.FlushDrain)
 	}
 	timer := time.NewTimer(e.batchDelay)
 	defer timer.Stop()
@@ -854,11 +877,29 @@ func (e *Engine) collectSubmits(first submitReq) []submitReq {
 		case req := <-e.submitCh:
 			reqs = append(reqs, req)
 		case <-timer.C:
-			return reqs
+			return e.noteFlush(reqs, obs.FlushTimer)
 		case <-e.stop:
-			return reqs
+			return e.noteFlush(reqs, obs.FlushDrain)
 		}
 	}
+	return e.noteFlush(reqs, obs.FlushFull)
+}
+
+// noteFlush records why and how large a submit batch flushed.
+func (e *Engine) noteFlush(reqs []submitReq, reason int) []submitReq {
+	if len(reqs) >= e.maxBatch {
+		reason = obs.FlushFull
+	}
+	switch reason {
+	case obs.FlushFull:
+		e.om.flushFull.Inc()
+	case obs.FlushTimer:
+		e.om.flushTimer.Inc()
+	default:
+		e.om.flushDrain.Inc()
+	}
+	e.om.batchSize.Observe(float64(len(reqs)))
+	e.obs.Trace.Record(obs.EvBatchFlush, uint64(len(reqs)), uint64(reason), 0)
 	return reqs
 }
 
@@ -907,20 +948,23 @@ func (e *Engine) admitSubmit(req submitReq) (types.Action, bool) {
 		// pending reply instead of generating a second action.
 		kind, ent := e.dedupLookup(req.action.Client, req.action.ClientSeq)
 		if kind != dedupFresh {
-			e.metrics.Duplicates++
+			e.om.duplicates.Inc()
+			e.obs.Trace.Record(obs.EvDedupHit, 1, 0, 0)
 			req.ch <- dedupReply(kind, ent)
 			return types.Action{}, false
 		}
 		if id, ok := e.inflight[inflightKey{req.action.Client, req.action.ClientSeq}]; ok {
 			if _, pending := e.pendingReply[id]; pending {
-				e.metrics.Duplicates++
+				e.om.duplicates.Inc()
+				e.obs.Trace.Record(obs.EvDedupHit, 2, 0, 0)
 				e.pendingReply[id] = append(e.pendingReply[id], req.ch)
 				return types.Action{}, false
 			}
 		}
 	}
 	if e.maxInFlight > 0 && len(e.pendingReply)+len(e.buffered) >= e.maxInFlight {
-		e.metrics.Overloads++
+		e.om.overloads.Inc()
+		e.obs.Trace.Record(obs.EvAdmissionReject, uint64(len(e.pendingReply)+len(e.buffered)), 0, 0)
 		req.ch <- Reply{Err: ErrOverloaded.Error(), Retryable: true}
 		return types.Action{}, false
 	}
@@ -954,6 +998,9 @@ func (e *Engine) answerQuery(req submitReq) {
 	} else {
 		r.Err = err.Error()
 	}
+	if !req.at.IsZero() {
+		e.om.latency[types.SemStrict].ObserveDuration(time.Since(req.at))
+	}
 	req.ch <- r
 }
 
@@ -977,7 +1024,10 @@ func (e *Engine) createAction(req submitReq) types.Action {
 	a.ID = types.ActionID{Server: e.id, Index: e.actionIndex}
 	a.GreenLine = e.queue.greenCount()
 	e.ongoing[a.ID] = a
-	e.metrics.Generated++
+	e.om.generated.Inc()
+	if !req.at.IsZero() {
+		e.submitMeta[a.ID] = submitMeta{at: req.at, sem: a.Semantics}
+	}
 	e.trackInflight(a, req.ch)
 	e.lastLocalPending = a.ID
 	return a
@@ -1027,6 +1077,11 @@ func (e *Engine) reply(id types.ActionID, r Reply) {
 	chans, ok := e.pendingReply[id]
 	if !ok {
 		return
+	}
+	if r.Err == "" {
+		e.observeLatency(id)
+	} else {
+		e.dropLatency(id)
 	}
 	delete(e.pendingReply, id)
 	for _, ch := range chans {

@@ -157,7 +157,7 @@ func (e *Engine) retransmitShare() {
 }
 
 func (e *Engine) sendRetrans(r retransMsg) {
-	e.metrics.Retransmitted++
+	e.om.retransmitted.Inc()
 	_ = multicastMsg(e.gc, engineMsg{Kind: emRetrans, Retrans: &r})
 }
 

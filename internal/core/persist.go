@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"evsdb/internal/obs"
 	"evsdb/internal/storage"
 	"evsdb/internal/types"
 )
@@ -76,7 +77,13 @@ func (e *Engine) syncLog(point string) {
 	}
 	if err := e.log.Sync(); err != nil {
 		e.ioFailed = true
+		e.obs.Log.Error("stable storage failed at sync barrier",
+			"server", string(e.id), "conf", e.conf.ID, "state", e.st.String(), "point", point, "err", err)
 	}
+	if c := e.om.walSync[point]; c != nil {
+		c.Inc()
+	}
+	e.obs.Trace.Record(obs.EvWALSync, uint64(obs.SyncPointOf(point)), 0, 0)
 	if e.syncHook != nil && e.syncHook(point) {
 		panic(errCrashPoint)
 	}

@@ -72,8 +72,8 @@ func TestKeyedRetryAfterGreenReturnsOriginalReply(t *testing.T) {
 	if res, err := e.db.QueryGreen(db.Get("ctr")); err != nil || res.Value != "1" {
 		t.Fatalf("counter applied %v times (err %v)", res.Value, err)
 	}
-	if e.metrics.Duplicates != 1 {
-		t.Fatalf("duplicates metric %d", e.metrics.Duplicates)
+	if e.metricsSnapshot().Duplicates != 1 {
+		t.Fatalf("duplicates metric %d", e.metricsSnapshot().Duplicates)
 	}
 }
 
@@ -122,8 +122,8 @@ func TestDuplicateGreenAcrossActionIDs(t *testing.T) {
 	if res, _ := e.db.QueryGreen(db.Get("ctr")); res.Value != "1" {
 		t.Fatalf("counter %q, want 1 (duplicate applied)", res.Value)
 	}
-	if e.metrics.Duplicates != 1 {
-		t.Fatalf("duplicates metric %d", e.metrics.Duplicates)
+	if e.metricsSnapshot().Duplicates != 1 {
+		t.Fatalf("duplicates metric %d", e.metricsSnapshot().Duplicates)
 	}
 }
 
@@ -177,8 +177,8 @@ func TestOverloadBudget(t *testing.T) {
 	if !r.Retryable || !errors.Is(r.Failure(), ErrRetryable) {
 		t.Fatalf("overload reply %+v not retryable", r)
 	}
-	if e.metrics.Overloads != 1 {
-		t.Fatalf("overloads metric %d", e.metrics.Overloads)
+	if e.metricsSnapshot().Overloads != 1 {
+		t.Fatalf("overloads metric %d", e.metricsSnapshot().Overloads)
 	}
 	// A keyed retry of an in-flight action still attaches over budget:
 	// it consumes no new budget.

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"time"
+
+	"evsdb/internal/obs"
 	"evsdb/internal/types"
 )
 
@@ -88,7 +91,8 @@ func (e *Engine) onActionBatch(acts []types.Action) {
 }
 
 // onTransConf handles a transitional configuration notification.
-func (e *Engine) onTransConf(types.Configuration) {
+func (e *Engine) onTransConf(conf types.Configuration) {
+	e.obs.Trace.Record(obs.EvConfTrans, conf.ID.Counter, uint64(len(conf.Members)), 0)
 	switch e.st {
 	case RegPrim:
 		e.setState(TransPrim)
@@ -107,6 +111,7 @@ func (e *Engine) onTransConf(types.Configuration) {
 
 // onRegConf handles a regular configuration notification.
 func (e *Engine) onRegConf(conf types.Configuration) {
+	e.obs.Trace.Record(obs.EvConfRegular, conf.ID.Counter, uint64(len(conf.Members)), 0)
 	e.conf = conf.Clone()
 	switch e.st {
 	case TransPrim:
@@ -266,6 +271,7 @@ func (e *Engine) applyCatchUp(snap *JoinSnapshot) {
 	for id, chans := range e.pendingReply {
 		if id.Index <= snap.OrderedIdx[id.Server] {
 			delete(e.pendingReply, id)
+			e.observeLatency(id)
 			for _, ch := range chans {
 				ch <- Reply{GreenSeq: snap.GreenCount}
 			}
@@ -283,6 +289,7 @@ func (e *Engine) applyCatchUp(snap *JoinSnapshot) {
 		}
 	}
 	e.rebuildDirtyOverlay()
+	e.obs.Trace.Record(obs.EvCatchUp, e.queue.greenCount(), 0, 0)
 	e.persistState()
 	e.syncLog("catch-up")
 }
@@ -353,7 +360,9 @@ func (e *Engine) shiftToExchangeStates() {
 	e.awaitingSnap = false
 	s := e.buildStateMsg()
 	_ = multicastMsg(e.gc, engineMsg{Kind: emState, State: &s})
-	e.metrics.Exchanges++
+	e.om.exchanges.Inc()
+	e.exchStart = time.Now()
+	e.obs.Trace.Record(obs.EvExchangeStart, e.om.exchanges.Value(), 0, 0)
 	e.setState(ExchangeStates)
 }
 
@@ -400,7 +409,12 @@ func (e *Engine) endOfRetrans() {
 		}
 	}
 	e.computeKnowledge()
+	if !e.exchStart.IsZero() {
+		e.om.exchDur.ObserveDuration(time.Since(e.exchStart))
+		e.exchStart = time.Time{}
+	}
 	if e.isQuorum() {
+		e.obs.Trace.Record(obs.EvExchangeEnd, e.om.exchanges.Value(), 1, 0)
 		e.attemptIndex++
 		e.vuln = Vulnerable{
 			Status:       true,
@@ -416,6 +430,7 @@ func (e *Engine) endOfRetrans() {
 		e.setState(Construct)
 		return
 	}
+	e.obs.Trace.Record(obs.EvExchangeEnd, e.om.exchanges.Value(), 0, 0)
 	e.persistState()
 	e.syncLog("nonprim")
 	e.setState(NonPrim)
@@ -474,13 +489,17 @@ func (e *Engine) install() {
 			}
 		}
 	}
-	e.metrics.Installs++
+	e.om.installs.Inc()
 	e.yellow = Yellow{}
 	e.prim.PrimIndex++
 	e.prim.AttemptIndex = e.attemptIndex
 	e.prim.Servers = append([]types.ServerID(nil), e.vuln.Set...)
 	e.attemptIndex = 0
 	e.recordInstall(e.prim)
+	e.obs.Trace.Record(obs.EvInstall, uint64(e.prim.PrimIndex), uint64(e.prim.AttemptIndex), uint64(len(e.prim.Servers)))
+	e.obs.Log.Info("primary installed",
+		"server", string(e.id), "conf", e.conf.ID, "state", e.st.String(),
+		"prim", e.prim.PrimIndex, "members", len(e.prim.Servers))
 	for _, a := range e.queue.redsCanonical() {
 		e.applyGreen(a) // OR-2
 	}
@@ -558,13 +577,15 @@ func (e *Engine) trackRed(a types.Action) {
 			// without a second apply. The copy stays red and resolves at
 			// green time through the dedup paths in applyGreen.
 			if kind, ent := e.dedupLookup(a.Client, a.ClientSeq); kind != dedupFresh {
-				e.metrics.Duplicates++
+				e.om.duplicates.Inc()
+				e.obs.Trace.Record(obs.EvDedupHit, 3, 0, 0)
 				delete(e.inflight, inflightKey{a.Client, a.ClientSeq})
 				e.reply(a.ID, dedupReply(kind, ent))
 				return
 			}
 			if e.eagerApplied[eagerKey(a.Client, a.ClientSeq)] {
-				e.metrics.Duplicates++
+				e.om.duplicates.Inc()
+				e.obs.Trace.Record(obs.EvDedupHit, 3, 0, 0)
 				delete(e.inflight, inflightKey{a.Client, a.ClientSeq})
 				e.reply(a.ID, Reply{})
 				return
@@ -637,7 +658,7 @@ func (e *Engine) applyGreen(a types.Action) {
 	if err != nil {
 		return
 	}
-	e.metrics.Applied++
+	e.om.applied.Inc()
 	e.appendLog(logRecord{T: recGreen, ID: &a.ID, GreenSeq: seq})
 	e.histMu.Lock()
 	e.history = append(e.history, a.ID)
@@ -666,7 +687,8 @@ func (e *Engine) applyGreen(a types.Action) {
 		// (the total order already fixed that); only its effect is
 		// suppressed, and its waiters get the original outcome.
 		if kind, ent := e.dedupLookup(a.Client, a.ClientSeq); kind != dedupFresh {
-			e.metrics.Duplicates++
+			e.om.duplicates.Inc()
+			e.obs.Trace.Record(obs.EvDedupHit, 1, 0, 0)
 			delete(e.appliedRed, a.ID) // eager copy resolved by the dup
 			e.reply(a.ID, dedupReply(kind, ent))
 			e.releaseQueries(a.ID)
@@ -796,7 +818,7 @@ func (e *Engine) applyGreenRun(run []types.Action) {
 		return
 	}
 	run, seqs, updates, ids = run[:n], seqs[:n], updates[:n], ids[:n]
-	e.metrics.Applied += uint64(n)
+	e.om.applied.Add(uint64(n))
 	if n == 1 {
 		e.appendLog(logRecord{T: recGreen, ID: &ids[0], GreenSeq: seqs[0]})
 	} else {

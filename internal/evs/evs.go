@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"evsdb/internal/obs"
 	"evsdb/internal/queue"
 	"evsdb/internal/transport"
 	"evsdb/internal/types"
@@ -107,6 +108,9 @@ type Config struct {
 	// ResendTicks spaces periodic membership/ack retransmissions (loss
 	// recovery only — protocol progress is event-driven). Default 16.
 	ResendTicks uint64
+	// Obs is the observability bundle (metrics + traces) the node
+	// instruments. Nil means a fresh private bundle.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResendTicks == 0 {
 		c.ResendTicks = 16
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewObserver()
 	}
 	return c
 }
@@ -173,6 +180,8 @@ type Node struct {
 	flush       *flushPhase
 	transDone   bool // transitional config + messages already delivered for conf
 	pendingSend []outData
+	om          *evsObs
+	gatherStart time.Time // when the in-progress view change left phaseRegular
 }
 
 type flushPhase struct {
@@ -202,6 +211,7 @@ func NewNode(tr transport.Node, opts ...Option) *Node {
 		loopDone: make(chan struct{}),
 		pumpDone: make(chan struct{}),
 	}
+	n.om = newEVSObs(n.cfg.Obs.Reg)
 	go n.pumpEvents()
 	go n.run()
 	return n

@@ -108,6 +108,7 @@ func (n *Node) handleNack(from types.ServerID, nk *nackMsg) {
 	if nk == nil || n.conf == nil || nk.Conf != n.conf.id {
 		return
 	}
+	n.om.nackRx.Inc()
 	c := n.conf
 	if nk.Sender == n.id {
 		for _, lseq := range nk.LSeqs {
@@ -220,6 +221,7 @@ func (n *Node) progressRegular() {
 		n.emit(Delivery{Conf: c.id, Sender: d.Sender, Payload: d.Payload, Service: d.Service})
 		c.markDelivered()
 	}
+	n.om.safeLag.Set(int64(c.orderMax - c.delivered))
 }
 
 // sendAck unicasts the cumulative acknowledgment (plus this node's own
@@ -286,9 +288,11 @@ func (n *Node) tick() {
 			}
 		}
 		for sender, lseqs := range c.dataGaps(n.cfg.NackBatch) {
+			n.om.nackTx.Inc()
 			n.unicast(sender, wireMsg{Kind: kindNack, Nack: &nackMsg{Conf: c.id, Sender: sender, LSeqs: lseqs}})
 		}
 		if gseqs := c.orderGaps(n.cfg.NackBatch); len(gseqs) > 0 {
+			n.om.nackTx.Inc()
 			n.unicast(c.sequencer, wireMsg{Kind: kindNack, Nack: &nackMsg{Conf: c.id, GSeqs: gseqs}})
 		}
 		c.gc()

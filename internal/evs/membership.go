@@ -3,7 +3,9 @@ package evs
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"evsdb/internal/obs"
 	"evsdb/internal/types"
 )
 
@@ -13,6 +15,13 @@ import (
 // proposed member proposes the identical set.
 func (n *Node) enterGather() {
 	n.traceEvent(fmt.Sprintf("gather(%v)", n.reachable()))
+	if n.phase == phaseRegular || n.gatherStart.IsZero() {
+		// A re-gather from flush extends the same view change; only the
+		// first departure from regular operation starts the clock.
+		n.gatherStart = time.Now()
+	}
+	n.om.gathers.Inc()
+	n.cfg.Obs.Trace.Record(obs.EvViewGather, n.maxCounter, uint64(len(n.reachable())), 0)
 	n.phase = phaseGather
 	n.flush = nil
 	n.proposals = make(map[types.ServerID]proposeMsg)
@@ -124,6 +133,7 @@ func (n *Node) checkAgreement() {
 // configuration and its messages, then synchronize installation.
 func (n *Node) enterFlush(newConf types.ConfID, members []types.ServerID) {
 	n.traceEvent(fmt.Sprintf("flush(%v %v)", newConf, members))
+	n.cfg.Obs.Trace.Record(obs.EvViewFlush, newConf.Counter, uint64(len(members)), 0)
 	n.phase = phaseFlush
 	n.flush = &flushPhase{
 		newConf:  newConf,
@@ -332,6 +342,7 @@ func (n *Node) retransmitLacking(t []types.ServerID, u flushUnion) {
 		if !held {
 			continue // below our contiguous cut but GC'd: all members held it
 		}
+		n.om.retransOrder.Inc()
 		n.multicast(t, wireMsg{Kind: kindRetransOrder, RetransOrder: &retransOrderMsg{
 			NewConf: n.flush.newConf,
 			OldConf: n.oldConfID,
@@ -366,6 +377,7 @@ func (n *Node) retransmitLacking(t []types.ServerID, u flushUnion) {
 			if !held {
 				continue // GC'd: provably held everywhere
 			}
+			n.om.retransData.Inc()
 			n.multicast(t, wireMsg{Kind: kindRetransData, RetransData: &retransDataMsg{
 				NewConf: n.flush.newConf,
 				Data:    *d,
@@ -496,6 +508,12 @@ func (n *Node) deliverTransitional(t []types.ServerID, u flushUnion) {
 func (n *Node) install() {
 	f := n.flush
 	n.traceEvent(fmt.Sprintf("install(%v)", f.newConf))
+	n.om.installs.Inc()
+	if !n.gatherStart.IsZero() {
+		n.om.flushDur.ObserveDuration(time.Since(n.gatherStart))
+		n.gatherStart = time.Time{}
+	}
+	n.cfg.Obs.Trace.Record(obs.EvViewInstall, f.newConf.Counter, uint64(len(f.members)), 0)
 	n.emit(ViewChange{Config: types.Configuration{
 		ID:      f.newConf,
 		Members: append([]types.ServerID(nil), f.members...),

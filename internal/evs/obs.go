@@ -1,0 +1,38 @@
+package evs
+
+import (
+	"evsdb/internal/obs"
+)
+
+// WithObserver routes the node's metrics and event traces through o,
+// typically the Observer shared with the replica's engine so one
+// /metrics endpoint covers both layers.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *Config) { c.Obs = o }
+}
+
+// evsObs holds every EVS metric pre-registered against the registry so
+// the protocol loop only touches atomics.
+type evsObs struct {
+	gathers      *obs.Counter
+	installs     *obs.Counter
+	flushDur     *obs.Histogram
+	retransData  *obs.Counter
+	retransOrder *obs.Counter
+	nackTx       *obs.Counter
+	nackRx       *obs.Counter
+	safeLag      *obs.Gauge
+}
+
+func newEVSObs(r *obs.Registry) *evsObs {
+	return &evsObs{
+		gathers:      r.Counter("evsdb_evs_view_changes_total", "Membership gather phases entered (view changes started)."),
+		installs:     r.Counter("evsdb_evs_views_installed_total", "Regular configurations installed."),
+		flushDur:     r.Histogram("evsdb_evs_flush_seconds", "View-change duration, gather entry to install.", nil),
+		retransData:  r.Counter("evsdb_evs_retransmits_total", "Messages re-sent during flush, by kind.", obs.L("kind", "data")),
+		retransOrder: r.Counter("evsdb_evs_retransmits_total", "Messages re-sent during flush, by kind.", obs.L("kind", "order")),
+		nackTx:       r.Counter("evsdb_evs_nacks_sent_total", "NACKs this node sent for data or order gaps."),
+		nackRx:       r.Counter("evsdb_evs_nacks_received_total", "NACKs this node answered with retransmissions."),
+		safeLag:      r.Gauge("evsdb_evs_safe_lag", "Order positions assigned but not yet delivered to the engine (safe-delivery lag)."),
+	}
+}

@@ -264,6 +264,11 @@ func New(eng *core.Engine, cfg Config) http.Handler {
 		}
 		writeJSON(w, map[string]string{"status": "leaving"})
 	})
+	// Observability: the engine's shared registry in Prometheus text
+	// format, and the recent state-machine event trace. Both read only
+	// atomics, so they serve during exchanges, NonPrim, and overload.
+	mux.Handle("GET /metrics", eng.Observer().Reg)
+	mux.HandleFunc("GET /debug/events", eng.Observer().ServeEvents)
 	return mux
 }
 

@@ -1,13 +1,19 @@
 package httpapi
 
 import (
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"evsdb/internal/cluster"
+	"evsdb/internal/obs"
 	"evsdb/internal/storage"
+	"evsdb/internal/types"
 )
 
 func newServer(t *testing.T) *httptest.Server {
@@ -63,6 +69,137 @@ func TestStatusShape(t *testing.T) {
 	defer resp.Body.Close()
 	if got := resp.Header.Get("Content-Type"); got != "application/json" {
 		t.Fatalf("content type %q", got)
+	}
+}
+
+// fetchMetrics GETs /metrics and returns the parsed exposition, failing
+// the test on a non-200 answer or invalid Prometheus text.
+func fetchMetrics(t *testing.T, client *http.Client, base string) *obs.Exposition {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(string(body))
+	if err != nil {
+		t.Fatalf("/metrics output does not parse: %v\n%s", err, body)
+	}
+	return exp
+}
+
+// TestMetricsUnderLoad hammers the write path while concurrently scraping
+// /metrics and /debug/events: both must keep serving valid output, and
+// the scraped counters must agree with /status (they are the same
+// atomics).
+func TestMetricsUnderLoad(t *testing.T) {
+	srv := newServer(t)
+	client := srv.Client()
+
+	const writers, writes = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				url := fmt.Sprintf("%s/set?key=k%d&value=v%d", srv.URL, w, i)
+				resp, err := client.Post(url, "", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	// Scrape while the writers run; every intermediate exposition must
+	// already be grammatically valid.
+	for i := 0; i < 5; i++ {
+		fetchMetrics(t, client, srv.URL)
+	}
+	wg.Wait()
+
+	exp := fetchMetrics(t, client, srv.URL)
+	gen, ok := exp.Value("evsdb_actions_generated_total", nil)
+	if !ok || gen < writers*writes {
+		t.Fatalf("evsdb_actions_generated_total = %v (ok=%v), want >= %d", gen, ok, writers*writes)
+	}
+	if exp.Family("evsdb_action_latency_seconds") == nil {
+		t.Fatal("missing evsdb_action_latency_seconds histogram")
+	}
+	n, ok := exp.Value("evsdb_action_latency_seconds_count", map[string]string{"class": "strict"})
+	if !ok || n < writers*writes {
+		t.Fatalf("strict latency count = %v (ok=%v), want >= %d", n, ok, writers*writes)
+	}
+
+	resp, err := client.Get(srv.URL + "/debug/events?n=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "state") {
+		t.Fatalf("/debug/events has no state transitions:\n%s", body)
+	}
+
+	resp, err = client.Get(srv.URL + "/debug/events?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/debug/events?n=bogus: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsDuringNonPrim partitions the serving replica away from the
+// quorum and verifies the observability endpoints keep answering: they
+// read only atomics and must not block behind a wedged engine.
+func TestMetricsDuringNonPrim(t *testing.T) {
+	c, err := cluster.New(3, cluster.WithSyncPolicy(storage.SyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ids := c.IDs()
+	if err := c.WaitPrimary(10*time.Second, ids...); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(c.Replica(ids[0]).Engine, Config{}))
+	t.Cleanup(srv.Close)
+
+	c.Partition([]types.ServerID{ids[0]}, []types.ServerID{ids[1], ids[2]})
+	if err := c.WaitNonPrim(10*time.Second, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	exp := fetchMetrics(t, srv.Client(), srv.URL)
+	st, ok := exp.Value("evsdb_engine_state", nil)
+	if !ok {
+		t.Fatal("missing evsdb_engine_state gauge")
+	}
+	if st == 2 { // StateRegPrim — the partitioned minority must not claim primary
+		t.Fatalf("evsdb_engine_state = %v during partition", st)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events during NonPrim: %d", resp.StatusCode)
 	}
 }
 

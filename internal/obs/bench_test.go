@@ -1,0 +1,72 @@
+package obs
+
+import "testing"
+
+// The hot-path guards: counter increments, histogram observes and
+// tracer records must all be 0 allocs/op so instrumenting the engine's
+// submit path never touches the garbage collector.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("evsdb_bench_total", "h")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if testing.AllocsPerRun(100, c.Inc) != 0 {
+		b.Fatal("Counter.Inc allocates")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("evsdb_bench_seconds", "h", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+	if testing.AllocsPerRun(100, func() { h.Observe(0.0042) }) != 0 {
+		b.Fatal("Histogram.Observe allocates")
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("evsdb_bench_gauge", "h")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record(EvState, 1, 2, 0)
+	}
+	if testing.AllocsPerRun(100, func() { tr.Record(EvState, 1, 2, 0) }) != 0 {
+		b.Fatal("Tracer.Record allocates")
+	}
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	r := NewRegistry()
+	for _, class := range []string{"strict", "commutative", "timestamp"} {
+		r.Histogram("evsdb_action_latency_seconds", "h", nil, L("class", class)).Observe(0.01)
+	}
+	for i := 0; i < 20; i++ {
+		r.Counter("evsdb_bench_total", "h", L("k", string(rune('a'+i)))).Inc()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink discardWriter
+		_ = r.WriteText(&sink)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("evsdb_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("evsdb_test_total", "a counter"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("evsdb_test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("evsdb_l_total", "h", L("class", "strict"))
+	b := r.Counter("evsdb_l_total", "h", L("class", "commutative"))
+	if a == b {
+		t.Fatal("different labels produced the same counter")
+	}
+	a.Add(3)
+	b.Add(9)
+	exp := render(t, r)
+	if v, ok := exp.Value("evsdb_l_total", map[string]string{"class": "strict"}); !ok || v != 3 {
+		t.Fatalf("strict series = %v,%v", v, ok)
+	}
+	if v, ok := exp.Value("evsdb_l_total", map[string]string{"class": "commutative"}); !ok || v != 9 {
+		t.Fatalf("commutative series = %v,%v", v, ok)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("evsdb_lat_seconds", "h", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // bucket 0
+	h.Observe(0.05)   // bucket 2
+	h.Observe(5)      // +Inf
+	h.ObserveDuration(2 * time.Millisecond)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got < 5.05 || got > 5.06 {
+		t.Fatalf("sum = %v", got)
+	}
+	exp := render(t, r)
+	if v, _ := exp.Value("evsdb_lat_seconds_bucket", map[string]string{"le": "0.001"}); v != 1 {
+		t.Fatalf("le=0.001 = %v, want 1", v)
+	}
+	if v, _ := exp.Value("evsdb_lat_seconds_bucket", map[string]string{"le": "0.1"}); v != 3 {
+		t.Fatalf("le=0.1 = %v, want 3 (cumulative)", v)
+	}
+	if v, _ := exp.Value("evsdb_lat_seconds_bucket", map[string]string{"le": "+Inf"}); v != 4 {
+		t.Fatalf("le=+Inf = %v, want 4", v)
+	}
+}
+
+func TestConcurrentUseRendersValidText(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("evsdb_conc_total", "h")
+			h := r.Histogram("evsdb_conc_seconds", "h", nil)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.001)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		render(t, r)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("evsdb_http_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if _, err := ParseExposition(rec.Body.String()); err != nil {
+		t.Fatalf("served text does not parse: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("evsdb_esc_total", "h", L("path", `a"b\c`+"\n")).Inc()
+	exp := render(t, r)
+	if v, ok := exp.Value("evsdb_esc_total", map[string]string{"path": `a"b\c` + "\n"}); !ok || v != 1 {
+		t.Fatalf("escaped label round-trip failed: %v %v", v, ok)
+	}
+}
+
+func render(t *testing.T, r *Registry) *Exposition {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	exp, err := ParseExposition(b.String())
+	if err != nil {
+		t.Fatalf("rendered text does not parse: %v\n%s", err, b.String())
+	}
+	return exp
+}

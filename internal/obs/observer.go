@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+)
+
+// Observer bundles the three observability channels a component needs:
+// a metrics registry, an event tracer and a structured logger. Layers
+// sharing one replica share one Observer, so /metrics and /debug/events
+// show the whole node.
+type Observer struct {
+	Reg   *Registry
+	Trace *Tracer
+	Log   *slog.Logger
+}
+
+// NewObserver builds an Observer with a fresh registry, a 4096-event
+// tracer and a discarding logger. Callers that want real log output
+// replace Log (see WithLogger).
+func NewObserver() *Observer {
+	return &Observer{
+		Reg:   NewRegistry(),
+		Trace: NewTracer(4096),
+		Log:   slog.New(discardHandler{}),
+	}
+}
+
+// WithLogger returns a copy of o that logs through l.
+func (o *Observer) WithLogger(l *slog.Logger) *Observer {
+	c := *o
+	c.Log = l
+	return &c
+}
+
+// ServeEvents handles GET /debug/events?n=: the most recent n (default
+// 128) traced events as plain text, oldest first.
+func (o *Observer) ServeEvents(w http.ResponseWriter, r *http.Request) {
+	n := 128
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, ev := range o.Trace.Events(n) {
+		fmt.Fprintln(w, ev.String())
+	}
+}
+
+// discardHandler is a no-op slog.Handler. (slog.DiscardHandler exists
+// only from Go 1.24; this repo targets 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

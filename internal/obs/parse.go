@@ -1,0 +1,374 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family from a parsed exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Kind    string
+	Samples []Sample
+}
+
+// Exposition is a fully parsed /metrics payload.
+type Exposition struct {
+	Families []ParsedFamily
+	byName   map[string]*ParsedFamily
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *ParsedFamily {
+	return e.byName[name]
+}
+
+// Value returns the value of the sample in family name whose label set
+// matches labels exactly (nil/empty matches the unlabeled sample), and
+// whether such a sample exists.
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	f := e.byName[familyOf(name, e)]
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition is a hand-rolled parser for the Prometheus text
+// exposition format (version 0.0.4), strict enough to act as a format
+// validator in tests and CI: it checks metric-name and label grammar,
+// that every sample belongs to a declared family, that histogram
+// buckets are cumulative (monotone nondecreasing with le), that the
+// +Inf bucket equals _count, and that _sum/_count appear exactly once
+// per histogram series.
+func ParseExposition(text string) (*Exposition, error) {
+	exp := &Exposition{byName: map[string]*ParsedFamily{}}
+	var cur *ParsedFamily
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, name)
+			}
+			if exp.byName[name] != nil {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			cur = &ParsedFamily{Name: name, Help: help}
+			exp.Families = append(exp.Families, *cur)
+			cur = &exp.Families[len(exp.Families)-1]
+			exp.byName[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: TYPE without kind", lineNo)
+			}
+			f := exp.byName[name]
+			if f == nil {
+				return nil, fmt.Errorf("line %d: TYPE for undeclared family %q", lineNo, name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, kind)
+			}
+			f.Kind = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := exp.byName[familyOf(s.Name, exp)]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no family declaration", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for i := range exp.Families {
+		f := &exp.Families[i]
+		if f.Kind == "" {
+			return nil, fmt.Errorf("family %q has HELP but no TYPE", f.Name)
+		}
+		if f.Kind == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return exp, nil
+}
+
+// familyOf maps a sample name to its declaring family, accounting for
+// histogram suffixes.
+func familyOf(name string, exp *Exposition) string {
+	if exp.byName[name] != nil {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && exp.byName[base] != nil && exp.byName[base].Kind == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("no metric name in %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelEnd(rest)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	valStr, _, _ := strings.Cut(rest, " ") // optional timestamp ignored
+	if valStr == "" {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// findLabelEnd locates the closing brace, honoring quoted values.
+func findLabelEnd(rest string) int {
+	inQuote := false
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	i := 0
+	for i < len(body) {
+		start := i
+		for i < len(body) && isNameChar(body[i], i == start) {
+			i++
+		}
+		if i == start {
+			return nil, fmt.Errorf("bad label name at %q", body[start:])
+		}
+		key := body[start:i]
+		if i >= len(body) || body[i] != '=' {
+			return nil, fmt.Errorf("label %q missing '='", key)
+		}
+		i++
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for i < len(body) && body[i] != '"' {
+			if body[i] == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(body[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", body[i], key)
+				}
+			} else {
+				val.WriteByte(body[i])
+			}
+			i++
+		}
+		if i >= len(body) {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		i++ // closing quote
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q", key)
+			}
+			i++
+		}
+	}
+	return labels, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isNameChar(name[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkHistogram validates each label-variant of a histogram family:
+// buckets cumulative and nondecreasing in le order, terminal +Inf
+// bucket present and equal to _count, _sum/_count present exactly once.
+func checkHistogram(f *ParsedFamily) error {
+	type variant struct {
+		buckets map[float64]float64 // le -> cumulative count
+		sum     []float64
+		count   []float64
+	}
+	variants := map[string]*variant{}
+	keyOf := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	get := func(labels map[string]string) *variant {
+		k := keyOf(labels)
+		if variants[k] == nil {
+			variants[k] = &variant{buckets: map[float64]float64{}}
+		}
+		return variants[k]
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %q: bucket without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("histogram %q: bad le %q", f.Name, le)
+			}
+			v := get(s.Labels)
+			if _, dup := v.buckets[bound]; dup {
+				return fmt.Errorf("histogram %q: duplicate bucket le=%q", f.Name, le)
+			}
+			v.buckets[bound] = s.Value
+		case f.Name + "_sum":
+			v := get(s.Labels)
+			v.sum = append(v.sum, s.Value)
+		case f.Name + "_count":
+			v := get(s.Labels)
+			v.count = append(v.count, s.Value)
+		default:
+			return fmt.Errorf("histogram %q: unexpected sample %q", f.Name, s.Name)
+		}
+	}
+	for key, v := range variants {
+		if len(v.sum) != 1 || len(v.count) != 1 {
+			return fmt.Errorf("histogram %q{%s}: want exactly one _sum and _count, got %d/%d",
+				f.Name, key, len(v.sum), len(v.count))
+		}
+		bounds := make([]float64, 0, len(v.buckets))
+		for b := range v.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+			return fmt.Errorf("histogram %q{%s}: missing +Inf bucket", f.Name, key)
+		}
+		prev := -1.0
+		for _, b := range bounds {
+			if v.buckets[b] < prev {
+				return fmt.Errorf("histogram %q{%s}: bucket le=%v count %v < previous %v (not cumulative)",
+					f.Name, key, b, v.buckets[b], prev)
+			}
+			prev = v.buckets[b]
+		}
+		if inf := v.buckets[math.Inf(1)]; inf != v.count[0] {
+			return fmt.Errorf("histogram %q{%s}: +Inf bucket %v != _count %v", f.Name, key, inf, v.count[0])
+		}
+	}
+	return nil
+}

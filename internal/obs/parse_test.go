@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValidExposition(t *testing.T) {
+	text := `# HELP evsdb_actions_total Actions generated.
+# TYPE evsdb_actions_total counter
+evsdb_actions_total 42
+# HELP evsdb_lat_seconds Latency.
+# TYPE evsdb_lat_seconds histogram
+evsdb_lat_seconds_bucket{class="strict",le="0.001"} 1
+evsdb_lat_seconds_bucket{class="strict",le="0.01"} 3
+evsdb_lat_seconds_bucket{class="strict",le="+Inf"} 4
+evsdb_lat_seconds_sum{class="strict"} 0.52
+evsdb_lat_seconds_count{class="strict"} 4
+# HELP evsdb_state Gauge of state.
+# TYPE evsdb_state gauge
+evsdb_state{server="s1"} 2
+`
+	exp, err := ParseExposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("evsdb_actions_total", nil); !ok || v != 42 {
+		t.Fatalf("counter = %v,%v", v, ok)
+	}
+	if f := exp.Family("evsdb_lat_seconds"); f == nil || f.Kind != "histogram" {
+		t.Fatalf("histogram family: %+v", f)
+	}
+	if v, ok := exp.Value("evsdb_state", map[string]string{"server": "s1"}); !ok || v != 2 {
+		t.Fatalf("gauge = %v,%v", v, ok)
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":     "# HELP 9bad h\n# TYPE 9bad counter\n9bad 1\n",
+		"undeclared family":   "orphan_total 1\n",
+		"missing TYPE":        "# HELP evsdb_x h\nevsdb_x 1\n",
+		"bad value":           "# HELP evsdb_x h\n# TYPE evsdb_x counter\nevsdb_x abc\n",
+		"unterminated labels": "# HELP evsdb_x h\n# TYPE evsdb_x counter\nevsdb_x{a=\"b\" 1\n",
+		"unquoted label":      "# HELP evsdb_x h\n# TYPE evsdb_x counter\nevsdb_x{a=b} 1\n",
+		"duplicate label":     "# HELP evsdb_x h\n# TYPE evsdb_x counter\nevsdb_x{a=\"1\",a=\"2\"} 1\n",
+		"bad escape":          "# HELP evsdb_x h\n# TYPE evsdb_x counter\nevsdb_x{a=\"\\q\"} 1\n",
+		"unknown type":        "# HELP evsdb_x h\n# TYPE evsdb_x widget\nevsdb_x 1\n",
+		"duplicate family":    "# HELP evsdb_x h\n# TYPE evsdb_x counter\n# HELP evsdb_x h\n",
+		"non-cumulative buckets": `# HELP evsdb_h h
+# TYPE evsdb_h histogram
+evsdb_h_bucket{le="0.1"} 5
+evsdb_h_bucket{le="1"} 3
+evsdb_h_bucket{le="+Inf"} 5
+evsdb_h_sum 1
+evsdb_h_count 5
+`,
+		"missing +Inf bucket": `# HELP evsdb_h h
+# TYPE evsdb_h histogram
+evsdb_h_bucket{le="0.1"} 5
+evsdb_h_sum 1
+evsdb_h_count 5
+`,
+		"+Inf != count": `# HELP evsdb_h h
+# TYPE evsdb_h histogram
+evsdb_h_bucket{le="+Inf"} 5
+evsdb_h_sum 1
+evsdb_h_count 6
+`,
+		"duplicate sum": `# HELP evsdb_h h
+# TYPE evsdb_h histogram
+evsdb_h_bucket{le="+Inf"} 1
+evsdb_h_sum 1
+evsdb_h_sum 2
+evsdb_h_count 1
+`,
+		"bucket without le": `# HELP evsdb_h h
+# TYPE evsdb_h histogram
+evsdb_h_bucket 1
+evsdb_h_sum 1
+evsdb_h_count 1
+`,
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition(text); err == nil {
+			t.Errorf("%s: parser accepted invalid input", name)
+		}
+	}
+}
+
+func TestParseHandlesEscapesAndTimestamps(t *testing.T) {
+	text := "# HELP evsdb_x h\n# TYPE evsdb_x counter\n" +
+		`evsdb_x{p="a\"b\\c\nd"} 3 1712345678` + "\n"
+	exp, err := ParseExposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\"b\\c\nd"
+	if v, ok := exp.Value("evsdb_x", map[string]string{"p": want}); !ok || v != 3 {
+		t.Fatalf("escaped value = %v,%v", v, ok)
+	}
+}
+
+func TestParserAcceptsRegistryOutput(t *testing.T) {
+	// End-to-end: a registry resembling the real instrumented set must
+	// render text the parser accepts.
+	r := NewRegistry()
+	for _, class := range []string{"strict", "commutative", "timestamp"} {
+		h := r.Histogram("evsdb_action_latency_seconds", "Submit-to-green latency.", nil, L("class", class))
+		h.Observe(0.002)
+		h.Observe(0.3)
+	}
+	r.Counter("evsdb_actions_generated_total", "x").Add(10)
+	r.Gauge("evsdb_actions_green", "x").Set(7)
+	hb := r.Histogram("evsdb_batch_actions", "x", SizeBuckets)
+	hb.Observe(1)
+	hb.Observe(64)
+	hb.Observe(300)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExposition(b.String()); err != nil {
+		t.Fatalf("parser rejected registry output: %v\n%s", err, b.String())
+	}
+}

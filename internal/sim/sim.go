@@ -10,6 +10,7 @@ import (
 	"evsdb/internal/cluster"
 	"evsdb/internal/core"
 	"evsdb/internal/db"
+	"evsdb/internal/obs"
 	"evsdb/internal/storage"
 	"evsdb/internal/transport/memnet"
 	"evsdb/internal/types"
@@ -168,6 +169,10 @@ func Run(sched *Schedule, opts Options) *Result {
 	return res
 }
 
+// traceTail is how many trailing state-machine events each replica
+// contributes to a failure report.
+const traceTail = 30
+
 // dump renders a post-mortem of every replica for failure reports. It
 // reads only post-mortem-safe state (green/install histories and the
 // log), not Status, so it works for crashed replicas too.
@@ -196,6 +201,15 @@ func (r *runner) dump() string {
 		}
 		fmt.Fprintf(&b, "\n%s: status: %s\n", id, probeStatus(rep.Engine))
 		fmt.Fprintf(&b, "%s: evs: %s\n", id, rep.GC.Debug())
+		// The event trace reads only atomics, so it is safe even when the
+		// engine loop itself is wedged — often the only record of how the
+		// node got there.
+		if evs := rep.Obs.Trace.Events(traceTail); len(evs) > 0 {
+			fmt.Fprintf(&b, "%s: last %d events:\n", id, len(evs))
+			for _, ev := range evs {
+				fmt.Fprintf(&b, "%s:   %s\n", id, ev)
+			}
+		}
 	}
 	// A second EVS snapshot a beat later distinguishes a live-but-stuck
 	// protocol (tick counter advances) from a wedged node loop (frozen).
@@ -528,6 +542,18 @@ func (r *runner) finale() error {
 					return fmt.Errorf("exactly-once violated: key %s acknowledged green but counter never applied", s.key)
 				}
 			}
+		}
+	}
+	// Every run doubles as a metrics conformance check: render each
+	// replica's registry and reject any output the in-repo exposition
+	// parser would not accept (grammar, bucket monotonicity, sum/count).
+	for _, id := range r.ids {
+		var text strings.Builder
+		if err := r.c.Replica(id).Obs.Reg.WriteText(&text); err != nil {
+			return fmt.Errorf("metrics render %s: %w", id, err)
+		}
+		if _, err := obs.ParseExposition(text.String()); err != nil {
+			return fmt.Errorf("metrics exposition %s invalid: %w", id, err)
 		}
 	}
 	r.opts.Logf("sim seed=%d: converged, %d submissions (%d green-verified), ledger %d greens, %d installs",

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"evsdb/internal/obs"
 	"evsdb/internal/queue"
 	"evsdb/internal/transport"
 	"evsdb/internal/types"
@@ -45,6 +46,10 @@ type Config struct {
 	RedialMax time.Duration
 	// Dial overrides the dialer (tests). Default net.Dialer with timeout.
 	Dial func(addr string) (net.Conn, error)
+	// Obs is the observability bundle whose registry receives the
+	// transport's frame/byte/redial counters. Nil means a fresh private
+	// bundle.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -68,7 +73,32 @@ func (c Config) withDefaults() Config {
 			return net.DialTimeout("tcp", addr, 2*time.Second)
 		}
 	}
+	if c.Obs == nil {
+		c.Obs = obs.NewObserver()
+	}
 	return c
+}
+
+// tcpObs pre-registers the transport's metrics so the send and receive
+// paths only touch atomics.
+type tcpObs struct {
+	framesOut *obs.Counter
+	bytesOut  *obs.Counter
+	framesIn  *obs.Counter
+	bytesIn   *obs.Counter
+	redials   *obs.Counter
+	dialFails *obs.Counter
+}
+
+func newTCPObs(r *obs.Registry) *tcpObs {
+	return &tcpObs{
+		framesOut: r.Counter("evsdb_transport_frames_sent_total", "Frames written to peer connections (heartbeats included)."),
+		bytesOut:  r.Counter("evsdb_transport_bytes_sent_total", "Payload bytes written to peer connections."),
+		framesIn:  r.Counter("evsdb_transport_frames_received_total", "Frames read from peer connections (heartbeats included)."),
+		bytesIn:   r.Counter("evsdb_transport_bytes_received_total", "Payload bytes read from peer connections."),
+		redials:   r.Counter("evsdb_transport_redials_total", "Dial attempts to disconnected peers (backoff-gated)."),
+		dialFails: r.Counter("evsdb_transport_dial_failures_total", "Dial attempts that failed."),
+	}
 }
 
 const maxFrame = 64 << 20 // 64 MiB sanity cap
@@ -94,6 +124,8 @@ type Node struct {
 
 	now func() time.Time // clock hook (tests)
 	rnd func(int64) int64
+
+	om *tcpObs
 }
 
 var _ transport.Node = (*Node)(nil)
@@ -128,6 +160,7 @@ func New(cfg Config) (*Node, error) {
 		stop:     make(chan struct{}),
 		now:      time.Now,
 		rnd:      rand.Int63n,
+		om:       newTCPObs(cfg.Obs.Reg),
 	}
 	n.wg.Add(3)
 	go n.acceptLoop()
@@ -184,6 +217,9 @@ func (n *Node) Send(to types.ServerID, payload []byte) error {
 	if err := writeFrame(pc.conn, payload); err != nil {
 		_ = pc.conn.Close()
 		pc.conn = nil
+	} else {
+		n.om.framesOut.Inc()
+		n.om.bytesOut.Add(uint64(len(payload)))
 	}
 	return nil
 }
@@ -281,8 +317,10 @@ func (n *Node) redial(pc *peerConn, id types.ServerID, addr string) {
 	pc.nextDial = now.Add(delay)
 	pc.mu.Unlock()
 
+	n.om.redials.Inc()
 	conn, err := n.cfg.Dial(addr)
 	if err != nil {
+		n.om.dialFails.Inc()
 		return // backoff already scheduled
 	}
 	if err := writeFrame(conn, append([]byte("HELO"), n.cfg.ID...)); err != nil {
@@ -346,6 +384,8 @@ func (n *Node) readLoop(conn net.Conn) {
 			return
 		}
 		n.markSeen(from)
+		n.om.framesIn.Inc()
+		n.om.bytesIn.Add(uint64(len(payload)))
 		if len(payload) == 0 {
 			continue // heartbeat
 		}
