@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"evsdb/internal/db"
+	"evsdb/internal/obs"
+)
+
+// The parallel-apply experiment measures green-apply throughput at the
+// database layer — the exact path the engine's fused applyGreenRun
+// drives — comparing the PR 4 sequential batched applier (ApplyBatch)
+// against the dependency-aware parallel scheduler (ApplyBatchParallel)
+// at several worker-pool widths, across workloads with very different
+// conflict structure. The committed artifact is BENCH_parallel_apply.json.
+
+// parWorkload generates deterministic batches with a known conflict
+// profile.
+type parWorkload struct {
+	name string
+	desc string
+	gen  func(batch, i int) []byte
+}
+
+func parWorkloads() []parWorkload {
+	val := func(i int) string { return fmt.Sprintf("v%08d", i) }
+	return []parWorkload{
+		{
+			name: "conflict-light",
+			desc: "strict set+add per update, all-distinct keys (one wave per batch)",
+			gen: func(b, i int) []byte {
+				k := fmt.Sprintf("k%05d-%03d", b, i)
+				return db.EncodeUpdate(db.Set(k, val(i)), db.Add("ctr:"+k, 1))
+			},
+		},
+		{
+			name: "conflict-heavy",
+			desc: "strict set+add per update over 8 shared keys (waves split constantly)",
+			gen: func(b, i int) []byte {
+				k := fmt.Sprintf("hot%d", i%8)
+				return db.EncodeUpdate(db.Set(k, val(i)), db.Add("ctr:"+k, 1))
+			},
+		},
+		{
+			name: "commutative",
+			desc: "§6 commutative adds on one shared counter (class fast path, one wave)",
+			gen: func(b, i int) []byte {
+				return db.EncodeUpdate(db.Add("ctr", 1), db.Add(fmt.Sprintf("ctr:%d", i%16), 1))
+			},
+		},
+		{
+			name: "barrier-heavy",
+			desc: "conflict-light with a cas barrier every 8th update",
+			gen: func(b, i int) []byte {
+				k := fmt.Sprintf("k%05d-%03d", b, i)
+				if i%8 == 7 {
+					return db.EncodeUpdate(db.CAS(nil, db.Set(k, val(i))))
+				}
+				return db.EncodeUpdate(db.Set(k, val(i)), db.Add("ctr:"+k, 1))
+			},
+		},
+	}
+}
+
+// parRun is one (workload, workers) measurement.
+type parRun struct {
+	Workers    int     `json:"workers"`
+	Throughput float64 `json:"actionsPerSec"`
+	Speedup    float64 `json:"speedupVsSequential"`
+	Waves      uint64  `json:"waves"`
+	Conflicts  uint64  `json:"conflicts"`
+	Barriers   uint64  `json:"barriers"`
+}
+
+type parWorkloadReport struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Sequential  float64  `json:"sequentialActionsPerSec"` // PR 4 ApplyBatch baseline
+	Runs        []parRun `json:"runs"`
+}
+
+type parReport struct {
+	Experiment string              `json:"experiment"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"numCPU"`
+	Batch      int                 `json:"actionsPerBatch"`
+	Batches    int                 `json:"batches"`
+	Note       string              `json:"note"`
+	Workloads  []parWorkloadReport `json:"workloads"`
+}
+
+// genBatches materializes every batch up front so encoding cost stays
+// out of the measured window.
+func genBatches(w parWorkload, batches, batchSize int) [][][]byte {
+	out := make([][][]byte, batches)
+	for b := range out {
+		out[b] = make([][]byte, batchSize)
+		for i := range out[b] {
+			out[b][i] = w.gen(b, i)
+		}
+	}
+	return out
+}
+
+func measureSequential(batches [][][]byte) float64 {
+	warm := db.New()
+	for _, b := range batches {
+		warm.ApplyBatch(b)
+	}
+	d := db.New()
+	n := 0
+	start := time.Now()
+	for _, b := range batches {
+		d.ApplyBatch(b)
+		n += len(b)
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+func measureParallel(batches [][][]byte, workers int) (float64, uint64, uint64, uint64) {
+	warm := db.New()
+	warm.SetApplyWorkers(workers)
+	for _, b := range batches {
+		warm.ApplyBatchParallel(b)
+	}
+	d := db.New()
+	reg := obs.NewRegistry()
+	d.Instrument(reg)
+	d.SetApplyWorkers(workers)
+	n := 0
+	start := time.Now()
+	for _, b := range batches {
+		d.ApplyBatchParallel(b)
+		n += len(b)
+	}
+	elapsed := time.Since(start).Seconds()
+	// The registry hands back the same series on re-lookup, so the
+	// scheduler's own instruments double as the experiment's probes.
+	waves := reg.Counter("evsdb_apply_waves_total", "").Value()
+	conflicts := reg.Counter("evsdb_apply_conflicts_total", "").Value()
+	barriers := reg.Counter("evsdb_apply_barriers_total", "").Value()
+	return float64(n) / elapsed, waves, conflicts, barriers
+}
+
+// parallelApply runs the experiment and optionally writes the JSON
+// artifact.
+func parallelApply(batches, batchSize int, jsonPath string) error {
+	fmt.Printf("== Parallel green apply: db-level ApplyBatchParallel vs sequential ApplyBatch (%d batches x %d actions) ==\n",
+		batches, batchSize)
+	report := parReport{
+		Experiment: "parallel-apply",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Batch:      batchSize,
+		Batches:    batches,
+		Note: "speedup is wall-clock and therefore bounded by physical cores: " +
+			"on a single-CPU host the parallel scheduler can only match the sequential " +
+			"baseline (its win there is decode outside the state lock, which keeps " +
+			"concurrent reads unblocked); multi-core scaling comes from parallel decode " +
+			"and wave evaluation",
+	}
+	for _, w := range parWorkloads() {
+		data := genBatches(w, batches, batchSize)
+		wr := parWorkloadReport{Name: w.name, Description: w.desc}
+		wr.Sequential = measureSequential(data)
+		fmt.Printf("  %-15s sequential %.0f actions/s\n", w.name, wr.Sequential)
+		for _, workers := range []int{1, 2, 4, 8} {
+			tput, waves, conflicts, barriers := measureParallel(data, workers)
+			run := parRun{
+				Workers:    workers,
+				Throughput: tput,
+				Speedup:    tput / wr.Sequential,
+				Waves:      waves,
+				Conflicts:  conflicts,
+				Barriers:   barriers,
+			}
+			wr.Runs = append(wr.Runs, run)
+			fmt.Printf("  %-15s workers=%d  %.0f actions/s (%.2fx)  waves=%d conflicts=%d barriers=%d\n",
+				w.name, workers, tput, run.Speedup, waves, conflicts, barriers)
+		}
+		report.Workloads = append(report.Workloads, wr)
+	}
+	fmt.Println()
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n\n", jsonPath)
+	}
+	return nil
+}

@@ -61,6 +61,20 @@ func WithBatchDelay(d time.Duration) Option {
 	return func(c *Cluster) { c.batchDelay = d }
 }
 
+// WithApplyWorkers sets each replica database's parallel green-apply
+// width (see core.Config.ApplyWorkers).
+func WithApplyWorkers(n int) Option {
+	return func(c *Cluster) { c.applyWorkers = n }
+}
+
+// WithApplyOracle enables the determinism oracle on every replica
+// database: each green mutation is re-applied on a shadow sequential
+// database and cross-checked (db.Database.EnableOracle). The simulator
+// turns this on for every run and asserts db.CheckOracle in the finale.
+func WithApplyOracle() Option {
+	return func(c *Cluster) { c.applyOracle = true }
+}
+
 // WithCrashHook installs a fault-injection hook invoked at every engine
 // "** sync to disk" barrier (see core.Config.SyncHook). Returning true
 // kills the replica exactly at that barrier: the engine halts mid-handler
@@ -96,6 +110,9 @@ type Cluster struct {
 	maxBatch   int
 	batchDelay time.Duration
 	crashHook  func(id types.ServerID, point string) bool
+
+	applyWorkers int
+	applyOracle  bool
 
 	mu       sync.Mutex
 	replicas map[types.ServerID]*Replica
@@ -151,6 +168,9 @@ func (c *Cluster) start(id types.ServerID, snap *core.JoinSnapshot, recovering b
 	c.mu.Unlock()
 
 	database := db.New()
+	if c.applyOracle {
+		database.EnableOracle()
+	}
 	cfg := core.Config{
 		ID:              id,
 		Servers:         servers,
@@ -162,6 +182,7 @@ func (c *Cluster) start(id types.ServerID, snap *core.JoinSnapshot, recovering b
 		MaxBatchActions: c.maxBatch,
 		MaxBatchDelay:   c.batchDelay,
 		Obs:             ob,
+		ApplyWorkers:    c.applyWorkers,
 	}
 	if c.crashHook != nil {
 		cfg.SyncHook = func(point string) bool {

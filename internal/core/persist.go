@@ -258,7 +258,7 @@ func (e *Engine) replayTrackRed(a types.Action) {
 	if a.Type != types.ActionUpdate && a.Type != types.ActionQuery {
 		return
 	}
-	if a.Semantics == types.SemCommutative || a.Semantics == types.SemTimestamp {
+	if a.Semantics.Relaxed() {
 		if a.Client != "" {
 			if kind, _ := e.dedupLookup(a.Client, a.ClientSeq); kind != dedupFresh {
 				// A checkpoint earlier in the log already incorporates

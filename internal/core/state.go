@@ -799,8 +799,10 @@ func (e *Engine) plainGreen(a types.Action, runKeys map[string]bool) bool {
 
 // applyGreenRun is the fused form of applyGreen for a run of plain
 // updates: promote all, ONE green WAL record, ONE history/watcher pass,
-// ONE db.ApplyBatch under a single lock — then per-action replies, dedup
-// entries, and query releases fan back out.
+// ONE db.ApplyBatchParallel — the dependency-aware scheduler overlaps
+// non-conflicting updates across the worker pool while keeping the
+// observable outcome identical to sequential total-order apply — then
+// per-action replies, dedup entries, and query releases fan back out.
 func (e *Engine) applyGreenRun(run []types.Action) {
 	n := 0
 	seqs := make([]uint64, len(run))
@@ -834,7 +836,7 @@ func (e *Engine) applyGreenRun(run []types.Action) {
 			e.orderedIdx[a.ID.Server] = a.ID.Index
 		}
 	}
-	errs := e.db.ApplyBatch(updates)
+	errs := e.db.ApplyBatchParallel(updates)
 	for i, a := range run {
 		var errStr string
 		if errs[i] != nil {

@@ -158,7 +158,14 @@ func (tx *Tx) Set(key, value string) {
 func (tx *Tx) Del(key string) { tx.write[key] = nil }
 
 // Database is a deterministic replicated key-value store.
+//
+// Lock order: applyMu -> mu -> dirtyMu. Green mutators (Apply,
+// ApplyBatch, ApplyBatchParallel, Restore) serialize on applyMu and
+// touch green state under mu; the dirty overlay lives behind its own
+// dirtyMu so red applies and degraded reads only need mu read-side and
+// never contend with a green apply in progress.
 type Database struct {
+	applyMu sync.Mutex // serializes green mutators and oracle mirroring
 	mu      sync.RWMutex
 	data    map[string]string
 	ts      map[string]int64
@@ -166,9 +173,19 @@ type Database struct {
 	procs   map[string]Procedure
 
 	// dirty overlays the green state with red effects for dirty queries.
+	dirtyMu      sync.RWMutex
 	dirty        map[string]*string
 	dirtyTS      map[string]int64
 	dirtyApplied uint64
+
+	// workers is the configured parallel-apply width (parallel.go);
+	// 0 means the GOMAXPROCS-derived default.
+	workers int
+	// met holds optional instruments (obs.go).
+	met *applyObs
+	// oracle is the optional shadow sequential database (oracle.go).
+	oracle    *Database
+	oracleErr error
 }
 
 // New returns an empty database.
@@ -184,9 +201,14 @@ func New() *Database {
 // RegisterProc registers a deterministic procedure. Every replica must
 // register the same procedures before applying actions that invoke them.
 func (d *Database) RegisterProc(name string, p Procedure) {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.procs[name] = p
+	d.mu.Unlock()
+	if d.oracle != nil {
+		d.oracle.RegisterProc(name, p)
+	}
 }
 
 // Version returns the number of updates applied to the green state.
@@ -201,10 +223,14 @@ func (d *Database) Version() uint64 {
 // procedure) is an abort: the state advances past the action without
 // effects, identically at every replica, and the abort is reported.
 func (d *Database) Apply(update []byte) error {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.version++
-	return applyUpdate(update, d.data, d.ts, d.procs)
+	err := applyUpdate(update, d.data, d.ts, d.procs)
+	d.mu.Unlock()
+	d.mirrorOne(update, err)
+	return err
 }
 
 // ApplyBatch applies a run of encoded updates under ONE lock acquisition,
@@ -212,7 +238,17 @@ func (d *Database) Apply(update []byte) error {
 // the version advances once per update, so a replica that applied the
 // same actions singly reports the same version — but the per-update
 // locking cost amortizes over the batch (the engine's fused green apply).
+// For dependency-aware concurrent application see ApplyBatchParallel.
 func (d *Database) ApplyBatch(updates [][]byte) []error {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	errs := d.applyBatchSeq(updates)
+	d.mirrorBatch(updates, errs, false)
+	return errs
+}
+
+// applyBatchSeq is the sequential apply loop; callers hold applyMu.
+func (d *Database) applyBatchSeq(updates [][]byte) []error {
 	errs := make([]error, len(updates))
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -224,53 +260,78 @@ func (d *Database) ApplyBatch(updates [][]byte) []error {
 }
 
 // ApplyDirty applies an encoded update to the dirty overlay only; the
-// green state is untouched (paper § 6 "dirty query" support).
+// green state is untouched (paper § 6 "dirty query" support). The
+// update is evaluated against the layered green+overlay view (no green
+// state copy) and its staged effects fold into the overlay atomically:
+// a deterministic abort leaves the overlay unchanged. Only mu's read
+// side is taken, so red applies never block green queries and only
+// wait out the parallel applier's short merge windows.
 func (d *Database) ApplyDirty(update []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	an := analyzeUpdate(update)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.dirtyMu.Lock()
+	defer d.dirtyMu.Unlock()
 	d.dirtyApplied++
-	// Materialize the overlay view as copy-on-write maps.
-	base := make(map[string]string, len(d.data)+len(d.dirty))
-	for k, v := range d.data {
-		base[k] = v
+	if an.decErr != nil {
+		return an.decErr
 	}
-	for k, v := range d.dirty {
-		if v == nil {
-			delete(base, k)
-		} else {
-			base[k] = *v
+	readOverlay := func(k string) (string, bool) {
+		if v, ok := d.dirty[k]; ok {
+			if v == nil {
+				return "", false
+			}
+			return *v, true
 		}
+		v, ok := d.data[k]
+		return v, ok
 	}
-	ts := make(map[string]int64, len(d.ts))
-	for k, v := range d.ts {
-		ts[k] = v
+	readOverlayTS := func(k string) int64 {
+		if v, ok := d.dirtyTS[k]; ok {
+			return v
+		}
+		return d.ts[k]
 	}
-	for k, v := range d.dirtyTS {
-		ts[k] = v
-	}
-	if err := applyUpdate(update, base, ts, d.procs); err != nil {
+	effs, err := evalOps(an.ops, stateView{readData: readOverlay, readTS: readOverlayTS}, d.procs)
+	if err != nil {
 		return err
 	}
-	// Fold differences back into the overlay.
-	for k, v := range base {
-		if cur, ok := d.data[k]; !ok || cur != v {
+	// Fold effects into the overlay in order, normalizing entries that
+	// land back on the green value.
+	setK := func(k, v string) {
+		if cur, ok := d.data[k]; ok && cur == v {
+			delete(d.dirty, k)
+		} else {
 			val := v
 			d.dirty[k] = &val
-		} else {
-			delete(d.dirty, k)
 		}
 	}
-	for k := range d.data {
-		if _, ok := base[k]; !ok {
-			d.dirty[k] = nil
-		}
-	}
-	if d.dirtyTS == nil {
-		d.dirtyTS = make(map[string]int64)
-	}
-	for k, v := range ts {
-		if d.ts[k] != v {
-			d.dirtyTS[k] = v
+	for _, e := range effs {
+		switch e.kind {
+		case effSet:
+			setK(e.key, e.val)
+		case effDel:
+			if _, ok := d.data[e.key]; ok {
+				d.dirty[e.key] = nil
+			} else {
+				delete(d.dirty, e.key)
+			}
+		case effAdd:
+			curStr, _ := readOverlay(e.key)
+			cur, _ := strconv.ParseInt(curStr, 10, 64)
+			setK(e.key, strconv.FormatInt(cur+e.delta, 10))
+		case effTS:
+			if e.ts > readOverlayTS(e.key) {
+				if d.dirtyTS == nil {
+					d.dirtyTS = make(map[string]int64)
+				}
+				if d.ts[e.key] == e.ts {
+					delete(d.dirtyTS, e.key)
+				} else {
+					d.dirtyTS[e.key] = e.ts
+				}
+				setK(e.key, e.val)
+			}
 		}
 	}
 	return nil
@@ -279,8 +340,8 @@ func (d *Database) ApplyDirty(update []byte) error {
 // ResetDirty discards the dirty overlay (on rejoining a primary
 // component, once red actions obtain their true global order).
 func (d *Database) ResetDirty() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.dirtyMu.Lock()
+	defer d.dirtyMu.Unlock()
 	d.dirty = make(map[string]*string)
 	d.dirtyTS = nil
 	d.dirtyApplied = 0
@@ -305,6 +366,8 @@ func (d *Database) QueryGreen(query []byte) (Result, error) {
 func (d *Database) QueryDirty(query []byte) (Result, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	d.dirtyMu.RLock()
+	defer d.dirtyMu.RUnlock()
 	read := func(k string) (string, bool) {
 		if v, ok := d.dirty[k]; ok {
 			if v == nil {
@@ -367,8 +430,9 @@ func (d *Database) Restore(buf []byte) error {
 	if err := json.Unmarshal(buf, &s); err != nil {
 		return fmt.Errorf("restore snapshot: %w", err)
 	}
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.data = s.Data
 	if d.data == nil {
 		d.data = make(map[string]string)
@@ -378,9 +442,13 @@ func (d *Database) Restore(buf []byte) error {
 		d.ts = make(map[string]int64)
 	}
 	d.version = s.Version
+	d.mu.Unlock()
+	d.dirtyMu.Lock()
 	d.dirty = make(map[string]*string)
 	d.dirtyTS = nil
 	d.dirtyApplied = 0
+	d.dirtyMu.Unlock()
+	d.mirrorRestore(buf)
 	return nil
 }
 

@@ -1,0 +1,164 @@
+package db
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file implements staged evaluation: running an update's ops
+// against a read-only view of the state and emitting a list of effects
+// to be merged later. The parallel applier evaluates non-conflicting
+// updates concurrently under a read lock and merges their effects in
+// batch order under the write lock; the dirty overlay evaluates red
+// updates against the layered green+overlay view without copying the
+// green state.
+//
+// Effects are replayed in op order against the live maps, so replay
+// re-executes each op's state transition (add re-reads the current
+// value, tsset re-compares the stored timestamp). For strict updates
+// the conflict scheduler guarantees the merge-time values of the
+// touched keys equal the evaluation-time values, so replay matches
+// sequential application exactly; for § 6 commutative and timestamp
+// effects replay is correct under any base by construction — that is
+// precisely the paper's relaxed-consistency argument.
+
+type effKind uint8
+
+const (
+	effSet effKind = iota
+	effDel
+	effAdd
+	effTS
+)
+
+// effect is one staged state transition.
+type effect struct {
+	kind  effKind
+	key   string
+	val   string
+	delta int64
+	ts    int64
+}
+
+// stateView is a read-only layered view of database state used during
+// staged evaluation. Implementations must be safe for the duration of
+// the evaluation (the caller holds a read lock).
+type stateView struct {
+	readData func(key string) (string, bool)
+	readTS   func(key string) int64
+}
+
+// evalOps stages the effects of ops against view. A local overlay
+// threads through the walk so later ops observe earlier ops' writes in
+// the same update, mirroring applyOps exactly. On a failing op the
+// effects staged so far are returned alongside the error — the
+// sequential applier has the same partial-effect abort semantics, and
+// the determinism oracle compares both error strings and state bytes.
+func evalOps(ops []Op, view stateView, procs map[string]Procedure) ([]effect, error) {
+	var effs []effect
+	local := make(map[string]*string)
+	localTS := make(map[string]int64)
+	readLocal := func(k string) (string, bool) {
+		if v, ok := local[k]; ok {
+			if v == nil {
+				return "", false
+			}
+			return *v, true
+		}
+		return view.readData(k)
+	}
+	readLocalTS := func(k string) int64 {
+		if v, ok := localTS[k]; ok {
+			return v
+		}
+		return view.readTS(k)
+	}
+	var walk func(ops []Op) error
+	walk = func(ops []Op) error {
+		for _, op := range ops {
+			switch op.Kind {
+			case "noop":
+			case "set":
+				v := op.Value
+				local[op.Key] = &v
+				effs = append(effs, effect{kind: effSet, key: op.Key, val: op.Value})
+			case "del":
+				local[op.Key] = nil
+				effs = append(effs, effect{kind: effDel, key: op.Key})
+			case "add":
+				delta, err := strconv.ParseInt(op.Value, 10, 64)
+				if err != nil {
+					return fmt.Errorf("add %q: bad delta %q", op.Key, op.Value)
+				}
+				curStr, _ := readLocal(op.Key)
+				cur, _ := strconv.ParseInt(curStr, 10, 64)
+				nv := strconv.FormatInt(cur+delta, 10)
+				local[op.Key] = &nv
+				effs = append(effs, effect{kind: effAdd, key: op.Key, delta: delta})
+			case "tsset":
+				if op.TS > readLocalTS(op.Key) {
+					v := op.Value
+					local[op.Key] = &v
+					localTS[op.Key] = op.TS
+				}
+				effs = append(effs, effect{kind: effTS, key: op.Key, val: op.Value, ts: op.TS})
+			case "cas":
+				ok := true
+				for k, want := range op.Expect {
+					if got, found := readLocal(k); !found || got != want {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					return fmt.Errorf("cas aborted: guard mismatch")
+				}
+				if err := walk(op.Ops); err != nil {
+					return err
+				}
+			case "proc":
+				p, ok := procs[op.Proc]
+				if !ok {
+					return fmt.Errorf("proc %q not registered", op.Proc)
+				}
+				tx := &Tx{read: readLocal, write: make(map[string]*string)}
+				if err := p(tx, op.Args); err != nil {
+					return fmt.Errorf("proc %q: %w", op.Proc, err)
+				}
+				for k, v := range tx.write {
+					local[k] = v
+					if v == nil {
+						effs = append(effs, effect{kind: effDel, key: k})
+					} else {
+						effs = append(effs, effect{kind: effSet, key: k, val: *v})
+					}
+				}
+			default:
+				return fmt.Errorf("unknown op kind %q", op.Kind)
+			}
+		}
+		return nil
+	}
+	err := walk(ops)
+	return effs, err
+}
+
+// applyEffects replays staged effects in order against the live maps.
+func applyEffects(effs []effect, data map[string]string, ts map[string]int64) {
+	for _, e := range effs {
+		switch e.kind {
+		case effSet:
+			data[e.key] = e.val
+		case effDel:
+			delete(data, e.key)
+		case effAdd:
+			cur, _ := strconv.ParseInt(data[e.key], 10, 64)
+			data[e.key] = strconv.FormatInt(cur+e.delta, 10)
+		case effTS:
+			if e.ts > ts[e.key] {
+				ts[e.key] = e.ts
+				data[e.key] = e.val
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package db
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// This is the keyset "vet" check: a small static analysis over this
+// package's own source that keeps the dependency analyzer honest. Any
+// op kind the appliers (applyOps, evalOps) know how to mutate state
+// with MUST also be handled by analyzeUpdate's key-set switch —
+// otherwise a new op would silently fall into the unknown-kind default
+// and, worse, a drift between applier and analyzer could let the
+// scheduler overlap updates whose keys it never saw. The nightly CI
+// job runs this alongside the race corpus.
+
+// opKindCases walks a file and collects the string literals used as
+// case labels in every `switch op.Kind` statement inside the named
+// functions.
+func opKindCases(t *testing.T, path string, funcs map[string]bool) map[string]map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	out := make(map[string]map[string]bool)
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || !funcs[fn.Name.Name] {
+			continue
+		}
+		kinds := make(map[string]bool)
+		ast.Inspect(fn, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := sw.Tag.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Kind" {
+				return true
+			}
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				for _, e := range cc.List {
+					if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						kinds[strings.Trim(lit.Value, `"`)] = true
+					}
+				}
+			}
+			return true
+		})
+		out[fn.Name.Name] = kinds
+	}
+	return out
+}
+
+// TestOpKindsDeclareKeySets cross-checks the three op-kind switches:
+// every kind the sequential applier or the staged evaluator executes
+// must appear in the analyzer (with a key-set or an explicit complex
+// classification), and vice versa — no switch may know a kind the
+// others do not.
+func TestOpKindsDeclareKeySets(t *testing.T) {
+	appliers := opKindCases(t, "db.go", map[string]bool{"applyOps": true})["applyOps"]
+	evaluators := opKindCases(t, "eval.go", map[string]bool{"evalOps": true})["evalOps"]
+	analyzers := opKindCases(t, "analyze.go", map[string]bool{"analyzeUpdate": true})["analyzeUpdate"]
+	if len(appliers) == 0 || len(evaluators) == 0 || len(analyzers) == 0 {
+		t.Fatalf("op-kind switches not found: applyOps=%v evalOps=%v analyzeUpdate=%v",
+			appliers, evaluators, analyzers)
+	}
+	// The analyzer folds cas/proc into the default complex case rather
+	// than naming them; they still must be named by the appliers, and
+	// everything else must match exactly.
+	for kind := range appliers {
+		if kind == "cas" || kind == "proc" {
+			continue
+		}
+		if !analyzers[kind] {
+			t.Errorf("applyOps handles op kind %q but analyzeUpdate declares no key set for it", kind)
+		}
+	}
+	for kind := range analyzers {
+		if !appliers[kind] {
+			t.Errorf("analyzeUpdate declares key sets for op kind %q but applyOps cannot execute it", kind)
+		}
+		if !evaluators[kind] && kind != "noop" {
+			t.Errorf("analyzeUpdate declares op kind %q but evalOps cannot stage it", kind)
+		}
+	}
+	for kind := range appliers {
+		if !evaluators[kind] {
+			t.Errorf("applyOps handles op kind %q but evalOps cannot stage it", kind)
+		}
+	}
+}
+
+// TestGreenMutatorsRouteThroughAppliers flags Database methods that
+// assign to the green maps outside the sanctioned applier/merge
+// functions — state mutated without declared key sets is exactly the
+// bug class the parallel scheduler cannot tolerate.
+func TestGreenMutatorsRouteThroughAppliers(t *testing.T) {
+	allowed := map[string]bool{
+		// The appliers and the merge path.
+		"applyOps": true, "applyEffects": true,
+		// Lifecycle: wholesale state replacement, not per-key mutation.
+		"Restore": true, "New": true,
+	}
+	isGreenMap := func(e ast.Expr) (string, bool) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != "d" {
+			return "", false
+		}
+		if sel.Sel.Name == "data" || sel.Sel.Name == "ts" {
+			return sel.Sel.Name, true
+		}
+		return "", false
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for path, f := range pkg.Files {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || allowed[fn.Name.Name] {
+					continue
+				}
+				ast.Inspect(fn, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range st.Lhs {
+							if idx, ok := lhs.(*ast.IndexExpr); ok {
+								if name, green := isGreenMap(idx.X); green {
+									t.Errorf("%s: %s writes green map d.%s directly; green mutations must go through applyOps/applyEffects so key sets stay declared",
+										fset.Position(st.Pos()), fn.Name.Name, name)
+								}
+							}
+						}
+					case *ast.CallExpr:
+						if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) > 0 {
+							if name, green := isGreenMap(st.Args[0]); green {
+								t.Errorf("%s: %s deletes from green map d.%s directly; route through applyOps/applyEffects",
+									fset.Position(st.Pos()), fn.Name.Name, name)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}

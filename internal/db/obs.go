@@ -1,0 +1,85 @@
+package db
+
+import (
+	"time"
+
+	"evsdb/internal/obs"
+)
+
+// applyObs is the pre-registered instrument bundle for the parallel
+// green applier, mirroring internal/core's coreObs pattern. The engine
+// hands its registry to the database at construction; an
+// uninstrumented database skips all observation.
+type applyObs struct {
+	batches    *obs.Counter // scheduled batches, by mode
+	seqBatches *obs.Counter
+	actions    [4]*obs.Counter // applied updates by class
+	waves      *obs.Counter
+	conflicts  *obs.Counter
+	barriers   *obs.Counter
+	workersG   *obs.Gauge
+	util       *obs.Gauge
+	stall      *obs.Histogram
+}
+
+func newApplyObs(r *obs.Registry) *applyObs {
+	m := &applyObs{
+		batches: r.Counter("evsdb_apply_batches_total",
+			"Green apply batches by scheduling mode.", obs.L("mode", "parallel")),
+		seqBatches: r.Counter("evsdb_apply_batches_total",
+			"Green apply batches by scheduling mode.", obs.L("mode", "sequential")),
+		waves: r.Counter("evsdb_apply_waves_total",
+			"Conflict-free waves executed by the parallel applier."),
+		conflicts: r.Counter("evsdb_apply_conflicts_total",
+			"Waves closed early because an update's key set conflicted."),
+		barriers: r.Counter("evsdb_apply_barriers_total",
+			"Complex updates executed alone as full barriers."),
+		workersG: r.Gauge("evsdb_apply_workers",
+			"Resolved parallel green-apply worker-pool width."),
+		util: r.Gauge("evsdb_apply_worker_utilization_permille",
+			"Worker busy time over wall time of the last parallel batch, in permille."),
+		stall: r.Histogram("evsdb_apply_stall_seconds",
+			"Wall time the engine loop stalls in one green apply batch.", nil),
+	}
+	for c := classStrict; c <= classComplex; c++ {
+		m.actions[c] = r.Counter("evsdb_apply_actions_total",
+			"Green updates applied by dependency class.", obs.L("class", c.String()))
+	}
+	return m
+}
+
+// observeApply records one scheduled batch. Caller holds applyMu.
+func (d *Database) observeApply(n int, st applyStats, wall time.Duration) {
+	if d.met == nil {
+		return
+	}
+	m := d.met
+	m.stall.ObserveDuration(wall)
+	if st.sequential {
+		m.seqBatches.Inc()
+		m.actions[classStrict].Add(uint64(n))
+		return
+	}
+	m.batches.Inc()
+	for c, cnt := range st.classes {
+		if cnt > 0 {
+			m.actions[c].Add(uint64(cnt))
+		}
+	}
+	m.waves.Add(uint64(st.waves))
+	m.conflicts.Add(uint64(st.conflicts))
+	m.barriers.Add(uint64(st.barriers))
+	if st.elapsed > 0 && st.workers > 0 {
+		util := st.busy.Seconds() / (st.elapsed.Seconds() * float64(st.workers))
+		m.util.Set(int64(util * 1000))
+	}
+}
+
+// Instrument attaches metric instruments created from reg. Call once,
+// before concurrent use (the engine does this at construction).
+func (d *Database) Instrument(reg *obs.Registry) {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	d.met = newApplyObs(reg)
+	d.met.workersG.Set(int64(d.effectiveWorkers()))
+}

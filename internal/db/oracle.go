@@ -1,0 +1,125 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// The determinism oracle cross-checks the parallel applier against the
+// paper's ground truth: one total order, one sequential applier. When
+// enabled, the database keeps a shadow Database that re-applies every
+// green mutation strictly sequentially; per-update abort errors must
+// match exactly, and after every parallel-scheduled batch the two
+// states must serialize to identical bytes. The simulator enables the
+// oracle on every replica and asserts it in the finale, so the entire
+// fault corpus doubles as an equivalence proof for the scheduler.
+//
+// Red-side state (the dirty overlay) is intentionally outside the
+// oracle: it never feeds back into green state and is discarded on
+// primary rejoin.
+
+// EnableOracle attaches a fresh shadow sequential database seeded from
+// the current green state. Must be called before concurrent use.
+func (d *Database) EnableOracle() {
+	snap := d.Snapshot()
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	d.oracle = New()
+	d.oracle.SetApplyWorkers(1)
+	if err := d.oracle.Restore(snap); err != nil {
+		panic(fmt.Sprintf("db: oracle seed: %v", err))
+	}
+	d.mu.RLock()
+	for name, p := range d.procs {
+		d.oracle.procs[name] = p
+	}
+	d.mu.RUnlock()
+}
+
+// CheckOracle reports the first recorded divergence between the
+// parallel applier and the shadow sequential applier, or performs a
+// final byte-level state comparison if none was recorded. It returns
+// nil when the oracle is disabled.
+func (d *Database) CheckOracle() error {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	if d.oracle == nil {
+		return nil
+	}
+	if d.oracleErr != nil {
+		return d.oracleErr
+	}
+	d.compareOracleState("finale")
+	return d.oracleErr
+}
+
+// recordOracleDivergence keeps only the first divergence; later ones
+// are cascading noise.
+func (d *Database) recordOracleDivergence(format string, args ...any) {
+	if d.oracleErr == nil {
+		d.oracleErr = fmt.Errorf("determinism oracle: "+format, args...)
+	}
+}
+
+// errStr normalizes errors for comparison.
+func errStr(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// mirrorOne replays a single green update on the shadow database and
+// compares the abort outcome. Caller holds applyMu.
+func (d *Database) mirrorOne(update []byte, got error) {
+	if d.oracle == nil {
+		return
+	}
+	want := d.oracle.Apply(update)
+	if errStr(got) != errStr(want) {
+		d.recordOracleDivergence("apply error mismatch: parallel=%q sequential=%q", errStr(got), errStr(want))
+	}
+}
+
+// mirrorBatch replays a batch sequentially on the shadow database,
+// compares every abort outcome, and — when the batch went through the
+// parallel scheduler — the serialized states. Caller holds applyMu.
+func (d *Database) mirrorBatch(updates [][]byte, got []error, parallel bool) {
+	if d.oracle == nil {
+		return
+	}
+	want := d.oracle.ApplyBatch(updates)
+	for i := range updates {
+		if errStr(got[i]) != errStr(want[i]) {
+			d.recordOracleDivergence("batch update %d error mismatch: parallel=%q sequential=%q",
+				i, errStr(got[i]), errStr(want[i]))
+			return
+		}
+	}
+	if parallel {
+		d.compareOracleState("parallel batch")
+	}
+}
+
+// mirrorRestore resets the shadow database alongside the real one.
+// Caller holds applyMu.
+func (d *Database) mirrorRestore(buf []byte) {
+	if d.oracle == nil {
+		return
+	}
+	if err := d.oracle.Restore(buf); err != nil {
+		d.recordOracleDivergence("shadow restore failed: %v", err)
+	}
+}
+
+// compareOracleState asserts byte-identical snapshots. Caller holds
+// applyMu.
+func (d *Database) compareOracleState(when string) {
+	if d.oracle == nil || d.oracleErr != nil {
+		return
+	}
+	got, want := d.Snapshot(), d.oracle.Snapshot()
+	if !bytes.Equal(got, want) {
+		d.recordOracleDivergence("state divergence after %s:\nparallel:   %s\nsequential: %s", when, got, want)
+	}
+}

@@ -1,0 +1,358 @@
+package db
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the dependency-aware parallel green applier
+// (DESIGN.md § 10). Updates are analyzed once (analyze.go), partitioned
+// into contiguous conflict-free waves, evaluated concurrently by a
+// bounded worker pool under a read lock, and their staged effects
+// merged sequentially in batch order under the write lock. Waves are
+// the topological levels of the batch's conflict DAG restricted to
+// contiguous runs: a conflict or a complex barrier closes the wave, so
+// merge order always equals total order and sequential equivalence is
+// immediate.
+
+const (
+	// maxDefaultApplyWorkers caps the default pool width; green apply
+	// rarely benefits beyond this.
+	maxDefaultApplyWorkers = 8
+	// minParallelBatch is the batch size below which scheduling
+	// overhead outweighs parallel decode; smaller batches take the
+	// sequential path.
+	minParallelBatch = 4
+	// minParallelWave is the wave size below which evaluation runs
+	// inline on the coordinator instead of fanning out.
+	minParallelWave = 3
+)
+
+// SetApplyWorkers configures the parallel green-apply width. n <= 0
+// restores the default min(GOMAXPROCS, 8); n == 1 disables parallel
+// apply entirely (every batch takes the exact sequential path).
+func (d *Database) SetApplyWorkers(n int) {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	d.workers = n
+	if d.met != nil {
+		d.met.workersG.Set(int64(d.effectiveWorkers()))
+	}
+}
+
+// ApplyWorkers reports the resolved parallel-apply width.
+func (d *Database) ApplyWorkers() int {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	return d.effectiveWorkers()
+}
+
+// effectiveWorkers resolves the configured width; callers hold applyMu.
+func (d *Database) effectiveWorkers() int {
+	if d.workers > 0 {
+		return d.workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > maxDefaultApplyWorkers {
+		w = maxDefaultApplyWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ApplyBatchParallel applies a run of encoded updates with the
+// dependency-aware parallel scheduler. It is observationally identical
+// to ApplyBatch — same per-update errors, same final state bytes, same
+// version accounting — which the determinism oracle (oracle.go)
+// enforces when enabled. Batches below minParallelBatch and databases
+// configured with one worker fall back to the sequential applier.
+func (d *Database) ApplyBatchParallel(updates [][]byte) []error {
+	start := time.Now()
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	w := d.effectiveWorkers()
+	var errs []error
+	var st applyStats
+	if w <= 1 || len(updates) < minParallelBatch {
+		errs = d.applyBatchSeq(updates)
+		st.sequential = true
+	} else {
+		errs, st = d.applyParallelLocked(updates, w)
+	}
+	d.observeApply(len(updates), st, time.Since(start))
+	d.mirrorBatch(updates, errs, !st.sequential)
+	return errs
+}
+
+// applyStats summarizes one scheduled batch for instrumentation.
+type applyStats struct {
+	sequential bool
+	waves      int
+	conflicts  int // waves closed early because a member conflicted
+	barriers   int // complex updates executed alone
+	classes    [4]int
+	busy       time.Duration // summed worker busy time (decode + eval)
+	elapsed    time.Duration // wall time of the scheduled phases
+	workers    int
+}
+
+// run is a contiguous slice of the batch scheduled as one unit.
+type run struct {
+	start, end int  // updates[start:end]
+	barrier    bool // single complex update applied sequentially
+}
+
+// waveSets tracks the aggregate key footprint of the wave being built.
+type waveSets struct {
+	strictReads  map[string]struct{}
+	strictWrites map[string]struct{}
+	commKeys     map[string]struct{}
+	tsKeys       map[string]struct{}
+}
+
+func newWaveSets() *waveSets {
+	return &waveSets{
+		strictReads:  make(map[string]struct{}),
+		strictWrites: make(map[string]struct{}),
+		commKeys:     make(map[string]struct{}),
+		tsKeys:       make(map[string]struct{}),
+	}
+}
+
+func (w *waveSets) reset() {
+	clear(w.strictReads)
+	clear(w.strictWrites)
+	clear(w.commKeys)
+	clear(w.tsKeys)
+}
+
+func member(m map[string]struct{}, k string) bool { _, ok := m[k]; return ok }
+
+// conflicts reports whether an update cannot join the current wave.
+// Strict updates conflict on the classic dependence conditions
+// (write/write, write/read, read/write overlap). Same-class § 6 updates
+// never conflict with each other — commutative deltas and
+// max-timestamp writes merge correctly under any interleaving — but an
+// update sharing a key with a member of a DIFFERENT class still
+// conflicts: the relaxed merge rules only commute within their own
+// class, and the determinism oracle demands byte-identical state.
+func (w *waveSets) conflicts(an *analyzed) bool {
+	switch an.class {
+	case classComplex:
+		return true
+	case classCommutative:
+		for _, k := range an.writes {
+			if member(w.strictReads, k) || member(w.strictWrites, k) || member(w.tsKeys, k) {
+				return true
+			}
+		}
+	case classTimestamp:
+		for _, k := range an.writes {
+			if member(w.strictReads, k) || member(w.strictWrites, k) || member(w.commKeys, k) {
+				return true
+			}
+		}
+	default: // classStrict
+		for _, k := range an.writes {
+			if member(w.strictReads, k) || member(w.strictWrites, k) ||
+				member(w.commKeys, k) || member(w.tsKeys, k) {
+				return true
+			}
+		}
+		for _, k := range an.reads {
+			if member(w.strictWrites, k) || member(w.commKeys, k) || member(w.tsKeys, k) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// admit adds an update's footprint to the wave.
+func (w *waveSets) admit(an *analyzed) {
+	switch an.class {
+	case classCommutative:
+		for _, k := range an.writes {
+			w.commKeys[k] = struct{}{}
+		}
+	case classTimestamp:
+		for _, k := range an.writes {
+			w.tsKeys[k] = struct{}{}
+		}
+	default:
+		for _, k := range an.reads {
+			w.strictReads[k] = struct{}{}
+		}
+		for _, k := range an.writes {
+			w.strictWrites[k] = struct{}{}
+		}
+	}
+}
+
+// planRuns partitions the analyzed batch into contiguous waves and
+// barriers, in batch order.
+func planRuns(ans []*analyzed, st *applyStats) []run {
+	runs := make([]run, 0, 4)
+	sets := newWaveSets()
+	waveStart := -1
+	closeWave := func(end int) {
+		if waveStart >= 0 {
+			runs = append(runs, run{start: waveStart, end: end})
+			st.waves++
+			waveStart = -1
+			sets.reset()
+		}
+	}
+	for i, an := range ans {
+		st.classes[an.class]++
+		if an.class == classComplex {
+			closeWave(i)
+			runs = append(runs, run{start: i, end: i + 1, barrier: true})
+			st.barriers++
+			continue
+		}
+		if waveStart < 0 {
+			waveStart = i
+			sets.admit(an)
+			continue
+		}
+		if sets.conflicts(an) {
+			st.conflicts++
+			closeWave(i)
+			waveStart = i
+			sets.reset()
+		}
+		sets.admit(an)
+	}
+	closeWave(len(ans))
+	return runs
+}
+
+// applyParallelLocked runs the full pipeline: parallel analysis,
+// wave planning, then per-wave concurrent evaluation and in-order
+// merge. The caller holds applyMu, so this is the sole green mutator;
+// d.mu is taken read-side for evaluation windows and write-side for
+// merges, leaving queries (green and dirty) free to proceed between
+// merge windows.
+func (d *Database) applyParallelLocked(updates [][]byte, w int) ([]error, applyStats) {
+	st := applyStats{workers: w}
+	phases := time.Now()
+	errs := make([]error, len(updates))
+	ans := make([]*analyzed, len(updates))
+	var busy atomic.Int64
+
+	// Phase 1: decode and analyze every update concurrently. This is
+	// the dominant cost of green apply and needs no database locks.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workerN := w
+	if workerN > len(updates) {
+		workerN = len(updates)
+	}
+	wg.Add(workerN)
+	for g := 0; g < workerN; g++ {
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(updates) {
+					break
+				}
+				ans[i] = analyzeUpdate(updates[i])
+			}
+			busy.Add(int64(time.Since(t0)))
+		}()
+	}
+	wg.Wait()
+
+	// Phase 2: plan contiguous conflict-free waves.
+	runs := planRuns(ans, &st)
+
+	// Phase 3: execute runs in order.
+	evals := make([][]effect, len(updates))
+	for _, r := range runs {
+		if r.barrier {
+			an := ans[r.start]
+			d.mu.Lock()
+			d.version++
+			if an.decErr != nil {
+				errs[r.start] = an.decErr
+			} else {
+				errs[r.start] = applyOps(an.ops, d.data, d.ts, d.procs)
+			}
+			d.mu.Unlock()
+			continue
+		}
+		if r.end-r.start < minParallelWave {
+			// Tiny wave: evaluation fan-out costs more than it saves.
+			d.mu.Lock()
+			for i := r.start; i < r.end; i++ {
+				d.version++
+				if ans[i].decErr != nil {
+					errs[i] = ans[i].decErr
+					continue
+				}
+				errs[i] = applyOps(ans[i].ops, d.data, d.ts, d.procs)
+			}
+			d.mu.Unlock()
+			continue
+		}
+		// Evaluate the wave concurrently against the wave-base state.
+		// Only readers share d.mu here, so concurrent map reads are
+		// safe; each worker writes solely its own evals/errs slots.
+		d.mu.RLock()
+		view := stateView{
+			readData: func(k string) (string, bool) { v, ok := d.data[k]; return v, ok },
+			readTS:   func(k string) int64 { return d.ts[k] },
+		}
+		var idx atomic.Int64
+		idx.Store(int64(r.start))
+		waveW := w
+		if waveW > r.end-r.start {
+			waveW = r.end - r.start
+		}
+		wg.Add(waveW)
+		for g := 0; g < waveW; g++ {
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= r.end {
+						break
+					}
+					if ans[i].decErr != nil {
+						continue
+					}
+					evals[i], errs[i] = evalOps(ans[i].ops, view, d.procs)
+				}
+				busy.Add(int64(time.Since(t0)))
+			}()
+		}
+		wg.Wait()
+		d.mu.RUnlock()
+		// Merge staged effects sequentially in batch order.
+		d.mu.Lock()
+		for i := r.start; i < r.end; i++ {
+			d.version++
+			if ans[i].decErr != nil {
+				errs[i] = ans[i].decErr
+				continue
+			}
+			applyEffects(evals[i], d.data, d.ts)
+			evals[i] = nil
+		}
+		d.mu.Unlock()
+	}
+	st.busy = time.Duration(busy.Load())
+	st.elapsed = time.Since(phases)
+	return errs, st
+}

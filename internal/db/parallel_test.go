@@ -1,0 +1,258 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// genUpdate draws one encoded update from a mix that covers every
+// dependency class: strict set/del/mixed, § 6 commutative adds and
+// timestamp writes, complex cas/proc barriers, malformed encodings,
+// empty and noop-only updates.
+func genUpdate(rng *rand.Rand) []byte {
+	key := func() string { return fmt.Sprintf("k%d", rng.Intn(16)) }
+	switch rng.Intn(12) {
+	case 0:
+		return EncodeUpdate(Set(key(), fmt.Sprintf("v%d", rng.Intn(1000))))
+	case 1:
+		return EncodeUpdate(Del(key()))
+	case 2: // the engine's standard strict mixed update
+		k := key()
+		return EncodeUpdate(Set(k, fmt.Sprintf("v%d", rng.Intn(1000))), Add("ctr:"+k, 1))
+	case 3:
+		return EncodeUpdate(Add(key(), int64(rng.Intn(7))-3))
+	case 4: // commutative multi-add
+		return EncodeUpdate(Add(key(), 1), Add(key(), int64(rng.Intn(5))))
+	case 5:
+		return EncodeUpdate(TSSet(key(), fmt.Sprintf("t%d", rng.Intn(100)), int64(rng.Intn(50))))
+	case 6: // cas, guard passes or fails depending on live state
+		return EncodeUpdate(CAS(map[string]string{key(): fmt.Sprintf("v%d", rng.Intn(1000))},
+			Set(key(), "cas-win")))
+	case 7: // cas with empty guard always applies its body
+		return EncodeUpdate(CAS(nil, Set(key(), "cas-free"), Add("ctr:"+key(), 2)))
+	case 8:
+		if rng.Intn(2) == 0 {
+			return EncodeUpdate(Proc("double", []byte(key())))
+		}
+		return EncodeUpdate(Proc("missing", nil)) // deterministic abort
+	case 9: // bad add delta aborts mid-update with partial effects
+		k := key()
+		return EncodeUpdate(Set(k, "partial"), Op{Kind: "add", Key: k, Value: "not-a-number"})
+	case 10:
+		return []byte(`{"ops":[{`) // malformed encoding
+	default:
+		return EncodeUpdate(Noop("padding"), Set(key(), "after-noop"))
+	}
+}
+
+func registerTestProcs(d *Database) {
+	d.RegisterProc("double", func(tx *Tx, args []byte) error {
+		k := string(args)
+		v, _ := tx.Get(k)
+		tx.Set(k, v+v)
+		return nil
+	})
+}
+
+// TestParallelEquivalenceRandom is the randomized equivalence suite the
+// issue demands: across 1k generated schedules of mixed-class batches,
+// the parallel applier must match the sequential applier exactly —
+// same per-update error strings, same state bytes (which include the
+// version) after every batch.
+func TestParallelEquivalenceRandom(t *testing.T) {
+	const schedules = 1000
+	for s := 0; s < schedules; s++ {
+		rng := rand.New(rand.NewSource(int64(s)))
+		par, seq := New(), New()
+		par.SetApplyWorkers(2 + rng.Intn(7))
+		seq.SetApplyWorkers(1)
+		registerTestProcs(par)
+		registerTestProcs(seq)
+		nBatches := 1 + rng.Intn(4)
+		for b := 0; b < nBatches; b++ {
+			batch := make([][]byte, 1+rng.Intn(80))
+			for i := range batch {
+				batch[i] = genUpdate(rng)
+			}
+			perrs := par.ApplyBatchParallel(batch)
+			serrs := seq.ApplyBatch(batch)
+			for i := range batch {
+				if errStr(perrs[i]) != errStr(serrs[i]) {
+					t.Fatalf("schedule %d batch %d update %d: parallel err %q, sequential err %q\nupdate: %s",
+						s, b, i, errStr(perrs[i]), errStr(serrs[i]), batch[i])
+				}
+			}
+			if p, q := par.Snapshot(), seq.Snapshot(); !bytes.Equal(p, q) {
+				t.Fatalf("schedule %d batch %d: state divergence\nparallel:   %s\nsequential: %s", s, b, p, q)
+			}
+		}
+	}
+}
+
+// TestParallelWorkerPoolOfOne forces conflict- and barrier-heavy
+// batches through the full scheduler machinery with a single worker: a
+// pool of one must neither deadlock nor starve, and must still produce
+// the sequential outcome. (ApplyBatchParallel short-circuits one-worker
+// databases to the sequential path, so the scheduler is driven
+// directly.)
+func TestParallelWorkerPoolOfOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	batch := make([][]byte, 256)
+	for i := range batch {
+		batch[i] = genUpdate(rng)
+	}
+	par, seq := New(), New()
+	registerTestProcs(par)
+	registerTestProcs(seq)
+	done := make(chan []error, 1)
+	go func() {
+		par.applyMu.Lock()
+		defer par.applyMu.Unlock()
+		errs, _ := par.applyParallelLocked(batch, 1)
+		done <- errs
+	}()
+	var perrs []error
+	select {
+	case perrs = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("single-worker parallel apply wedged")
+	}
+	serrs := seq.ApplyBatch(batch)
+	for i := range batch {
+		if errStr(perrs[i]) != errStr(serrs[i]) {
+			t.Fatalf("update %d: parallel err %q, sequential err %q", i, errStr(perrs[i]), errStr(serrs[i]))
+		}
+	}
+	if p, q := par.Snapshot(), seq.Snapshot(); !bytes.Equal(p, q) {
+		t.Fatalf("state divergence with one worker:\nparallel:   %s\nsequential: %s", p, q)
+	}
+}
+
+// TestAnalyzeClasses pins the decode-time classification rules the
+// scheduler depends on.
+func TestAnalyzeClasses(t *testing.T) {
+	cases := []struct {
+		update []byte
+		class  updateClass
+	}{
+		{EncodeUpdate(Set("a", "1")), classStrict},
+		{EncodeUpdate(Set("a", "1"), Add("a", 1)), classStrict},
+		{EncodeUpdate(Add("a", 1)), classCommutative},
+		{EncodeUpdate(Add("a", 1), Noop("x"), Add("b", 2)), classCommutative},
+		{EncodeUpdate(TSSet("a", "v", 3)), classTimestamp},
+		{EncodeUpdate(TSSet("a", "v", 3), Add("a", 1)), classStrict},
+		{EncodeUpdate(CAS(nil, Set("a", "1"))), classComplex},
+		{EncodeUpdate(Proc("p", nil)), classComplex},
+		{EncodeUpdate(Op{Kind: "mystery"}), classComplex},
+		{EncodeUpdate(Noop("x")), classStrict},
+		{EncodeUpdate(), classStrict},
+	}
+	for i, c := range cases {
+		an := analyzeUpdate(c.update)
+		if an.decErr != nil {
+			t.Fatalf("case %d: unexpected decode error %v", i, an.decErr)
+		}
+		if an.class != c.class {
+			t.Errorf("case %d (%s): class %v, want %v", i, c.update, an.class, c.class)
+		}
+	}
+	if an := analyzeUpdate([]byte("{broken")); an.decErr == nil {
+		t.Error("malformed update did not produce a decode error")
+	}
+}
+
+// TestWaveConflictRules pins the scheduler's conflict matrix: same-class
+// § 6 updates share waves freely, cross-class key sharing and strict
+// dependence conditions split waves, complex updates barrier.
+func TestWaveConflictRules(t *testing.T) {
+	plan := func(updates ...[]byte) []run {
+		ans := make([]*analyzed, len(updates))
+		for i, u := range updates {
+			ans[i] = analyzeUpdate(u)
+		}
+		var st applyStats
+		return planRuns(ans, &st)
+	}
+
+	// Disjoint strict updates form one wave.
+	runs := plan(EncodeUpdate(Set("a", "1")), EncodeUpdate(Set("b", "2")), EncodeUpdate(Set("c", "3")))
+	if len(runs) != 1 || runs[0].barrier {
+		t.Fatalf("disjoint strict updates: got runs %+v, want one wave", runs)
+	}
+
+	// Write-write strict overlap splits.
+	runs = plan(EncodeUpdate(Set("a", "1")), EncodeUpdate(Set("a", "2")))
+	if len(runs) != 2 {
+		t.Fatalf("conflicting strict updates: got runs %+v, want two waves", runs)
+	}
+
+	// Commutative adds on one key share a wave; so do timestamp writes.
+	runs = plan(EncodeUpdate(Add("a", 1)), EncodeUpdate(Add("a", 2)), EncodeUpdate(Add("a", 3)))
+	if len(runs) != 1 {
+		t.Fatalf("commutative adds: got runs %+v, want one wave", runs)
+	}
+	runs = plan(EncodeUpdate(TSSet("a", "x", 1)), EncodeUpdate(TSSet("a", "y", 2)))
+	if len(runs) != 1 {
+		t.Fatalf("timestamp writes: got runs %+v, want one wave", runs)
+	}
+
+	// Cross-class key sharing splits (strict set vs commutative add).
+	runs = plan(EncodeUpdate(Add("a", 1)), EncodeUpdate(Set("a", "x")))
+	if len(runs) != 2 {
+		t.Fatalf("cross-class sharing: got runs %+v, want two waves", runs)
+	}
+
+	// Complex updates barrier and split their neighbors.
+	runs = plan(EncodeUpdate(Set("a", "1")), EncodeUpdate(CAS(nil, Set("b", "2"))), EncodeUpdate(Set("c", "3")))
+	if len(runs) != 3 || !runs[1].barrier {
+		t.Fatalf("complex barrier: got runs %+v, want wave/barrier/wave", runs)
+	}
+}
+
+// TestOracleDetectsDivergence desyncs the shadow database by hand and
+// checks the oracle reports it; the clean path must stay silent.
+func TestOracleDetectsDivergence(t *testing.T) {
+	d := New()
+	d.EnableOracle()
+	batch := [][]byte{
+		EncodeUpdate(Set("a", "1")), EncodeUpdate(Add("ctr", 2)),
+		EncodeUpdate(Set("b", "2")), EncodeUpdate(TSSet("c", "v", 9)),
+	}
+	d.ApplyBatchParallel(batch)
+	if err := d.CheckOracle(); err != nil {
+		t.Fatalf("clean run reported divergence: %v", err)
+	}
+	// Corrupt the shadow: the next check must notice.
+	if err := d.oracle.Apply(EncodeUpdate(Set("sneak", "x"))); err != nil {
+		t.Fatalf("shadow apply: %v", err)
+	}
+	if err := d.CheckOracle(); err == nil {
+		t.Fatal("oracle missed a forced divergence")
+	}
+}
+
+// TestParallelKeepsDirtyOverlay checks a red overlay applied mid-stream
+// survives green parallel batches untouched and still layers over the
+// new green state.
+func TestParallelKeepsDirtyOverlay(t *testing.T) {
+	d := New()
+	if err := d.ApplyDirty(EncodeUpdate(Set("red", "r1"))); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]byte, 16)
+	for i := range batch {
+		batch[i] = EncodeUpdate(Set(fmt.Sprintf("g%d", i), "v"))
+	}
+	d.SetApplyWorkers(4)
+	d.ApplyBatchParallel(batch)
+	res, err := d.QueryDirty(Get("red"))
+	if err != nil || !res.Found || res.Value != "r1" || !res.Dirty {
+		t.Fatalf("dirty read after parallel apply: %+v err=%v", res, err)
+	}
+	if res, _ := d.QueryGreen(Get("g3")); res.Value != "v" {
+		t.Fatalf("green read after parallel apply: %+v", res)
+	}
+}

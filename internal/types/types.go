@@ -137,6 +137,15 @@ const (
 	SemTimestamp
 )
 
+// Relaxed reports whether the semantics class permits application
+// before the global order is known (paper § 6): commutative and
+// timestamp actions converge regardless of apply order, which is also
+// why the parallel green applier may overlap them freely within their
+// class.
+func (s Semantics) Relaxed() bool {
+	return s == SemCommutative || s == SemTimestamp
+}
+
 func (s Semantics) String() string {
 	switch s {
 	case SemStrict:
